@@ -1,0 +1,53 @@
+"""Appendix C — roofline / operational-intensity analysis for TreeFC.
+
+Claims reproduced: the analytic operational intensities order as
+``O_cortex > O_dynet > O_pytorch`` (Fig. 14); the *measured* intensities
+from the simulator's traffic accounting preserve the same ordering;
+``O_pytorch ~ 0.5`` under the paper's asymptotic assumptions.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.analysis import (asymptotic_intensities, measured_intensity,
+                            treefc_rooflines)
+from repro.bench import (baseline_latency_ms, cortex_latency_ms, format_table)
+from repro.runtime import V100
+
+N_TREE = 255   # perfect binary tree of height 7
+HIDDEN = 256
+
+
+def _run():
+    analytic = treefc_rooflines(N_TREE, 10, HIDDEN)
+    asym = asymptotic_intensities(N0=256, B=10)
+
+    _, cost = cortex_latency_ms("treefc", HIDDEN, 10, V100)
+    _, dy = baseline_latency_ms("dynet", "treefc", HIDDEN, 10, V100)
+    _, pt = baseline_latency_ms("pytorch", "treefc", HIDDEN, 10, V100)
+    measured = {
+        "cortex": measured_intensity(cost.flops, cost.dram_bytes),
+        "dynet": measured_intensity(dy.ledger.flops, dy.ledger.dram_bytes),
+        "pytorch": measured_intensity(pt.ledger.flops, pt.ledger.dram_bytes),
+    }
+    rows = []
+    for fw in ("cortex", "dynet", "pytorch"):
+        rows.append([fw, round(analytic[fw].intensity, 2),
+                     round(asym[fw], 2), round(measured[fw], 2)])
+    return rows, analytic, asym, measured
+
+
+def test_appc_roofline_intensities(benchmark):
+    rows, analytic, asym, measured = benchmark.pedantic(_run, rounds=1,
+                                                        iterations=1)
+    table = format_table(
+        ["Framework", "Analytic O (flop/B)", "Asymptotic O", "Measured O"],
+        rows, title="App. C — TreeFC operational intensities (bs=10, H=256)")
+    save_result("appc_roofline", table)
+
+    # Fig. 14 ordering, analytically and as measured by the simulator
+    assert analytic["cortex"].intensity > analytic["dynet"].intensity \
+        > analytic["pytorch"].intensity
+    assert measured["cortex"] > measured["dynet"] > measured["pytorch"]
+    # O_pytorch ~ 0.5 under the asymptotic assumptions
+    assert asym["pytorch"] == pytest.approx(0.5)

@@ -1,0 +1,48 @@
+"""Fig. 12 — peak GPU memory consumption (bs=10, hidden hs).
+
+Claims reproduced: PyTorch uses the least memory (eager frees, no
+batching); DyNet and Cavs retain forward-pass intermediates (designed for
+training) and pay contiguity scratch, so they use the most; the simulated
+inference-mode DyNet frees intermediates but stays above Cortex, whose
+fusion keeps intermediates out of DRAM entirely.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.analysis import memory_comparison
+from repro.bench import cortex_model, format_table, paper_inputs
+from repro.models import PAPER_MODELS, get_model
+from repro.runtime import V100
+
+ORDER = ["PyTorch", "DyNet", "DyNet (inference)", "Cavs", "Cortex"]
+
+
+def _run():
+    rows = []
+    data = {}
+    for model in PAPER_MODELS:
+        spec = get_model(model)
+        m = cortex_model(model, spec.hs)
+        roots = paper_inputs(model, 10)
+        mem = memory_comparison(m, roots, V100)
+        rows.append([spec.name] + [round(mem[k] / 1e3, 1) for k in ORDER])
+        data[model] = mem
+    return rows, data
+
+
+def test_fig12_peak_memory(benchmark):
+    rows, data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Model"] + [f"{k} (kB)" for k in ORDER], rows,
+        title="Fig. 12 — peak device memory (bs=10, hidden hs)")
+    save_result("fig12_memory", table)
+
+    for model, mem in data.items():
+        # ordering claims of §7.6
+        assert mem["PyTorch"] <= mem["DyNet"], model
+        assert mem["DyNet (inference)"] < mem["DyNet"], model
+        assert mem["Cortex"] < mem["DyNet"], model
+        assert mem["Cortex"] < mem["Cavs"], model
+        # Cortex materializes fewer intermediates than inference-DyNet
+        assert mem["Cortex"] <= mem["DyNet (inference)"] * 1.05, model

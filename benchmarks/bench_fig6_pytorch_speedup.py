@@ -1,0 +1,52 @@
+"""Fig. 6 — speedup over PyTorch vs batch size (GPU + Intel, hidden hs).
+
+Paper claims reproduced: Cortex is faster at every batch size; the gap
+*widens* with batch size (PyTorch cannot batch across nodes); GPU speedups
+exceed CPU speedups (more parallelism + scratchpads to exploit).
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.bench import (baseline_latency_ms, cortex_latency_ms, format_table,
+                         speedup)
+from repro.models import PAPER_MODELS, get_model
+from repro.runtime import INTEL, V100
+
+BATCH_SIZES = [1, 2, 4, 6, 8, 10]
+DEVICES = {"GPU": V100, "Intel CPU": INTEL}
+
+
+def _run():
+    rows = []
+    curves = {}
+    for dev_name, dev in DEVICES.items():
+        for model in PAPER_MODELS:
+            hs = get_model(model).hs
+            série = []
+            for bs in BATCH_SIZES:
+                c_ms, _ = cortex_latency_ms(model, hs, bs, dev)
+                p_ms, _ = baseline_latency_ms("pytorch", model, hs, bs, dev)
+                s = speedup(p_ms, c_ms)
+                série.append(s)
+                rows.append([dev_name, get_model(model).name, bs,
+                             round(p_ms, 3), round(c_ms, 3), round(s, 1)])
+            curves[(dev_name, model)] = série
+    return rows, curves
+
+
+def test_fig6_speedup_over_pytorch(benchmark):
+    rows, curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Backend", "Model", "Batch", "PyTorch (ms)", "Cortex (ms)",
+         "Speedup"], rows, title="Fig. 6 — speedup over PyTorch (hidden hs)")
+    save_result("fig6_pytorch_speedup", table)
+
+    for (dev, model), série in curves.items():
+        # claim (i): Cortex always wins
+        assert min(série) > 1.0, (dev, model)
+        # claim (ii): the gap grows with batch size (endpoints)
+        assert série[-1] > série[0], (dev, model)
+    # claim (iii): GPU speedups exceed CPU speedups at bs=10 for tree models
+    for model in ("treefc", "treegru", "treelstm"):
+        assert curves[("GPU", model)][-1] > curves[("Intel CPU", model)][-1]

@@ -1,0 +1,52 @@
+"""Fig. 7 — inference latency vs hidden size (recursive TreeLSTM, bs=10).
+
+Claims reproduced: at small hidden sizes Cavs/DyNet latency is flat and
+high — pure framework overhead (graph construction, batching, kernel
+launches) — while compute only starts to matter at the largest sizes; the
+GPU backend shows relatively higher overheads than the CPU backend.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.bench import baseline_latency_ms, cortex_latency_ms, format_table
+from repro.runtime import INTEL, V100
+
+HIDDEN = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def _run():
+    rows = []
+    curves = {}
+    for dev_name, dev in (("GPU", V100), ("Intel", INTEL)):
+        for fw in ("dynet", "cavs", "cortex"):
+            série = []
+            for h in HIDDEN:
+                if fw == "cortex":
+                    ms, _ = cortex_latency_ms("treelstm", h, 10, dev)
+                else:
+                    ms, _ = baseline_latency_ms(fw, "treelstm", h, 10, dev)
+                série.append(ms)
+                rows.append([dev_name, fw, h, round(ms, 3)])
+            curves[(dev_name, fw)] = série
+    return rows, curves
+
+
+def test_fig7_latency_vs_hidden_size(benchmark):
+    rows, curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Backend", "Framework", "Hidden", "Latency (ms)"], rows,
+        title="Fig. 7 — latency vs hidden size (recursive TreeLSTM, bs=10)")
+    save_result("fig7_overheads", table)
+
+    for dev in ("GPU", "Intel"):
+        for fw in ("dynet", "cavs"):
+            c = curves[(dev, fw)]
+            # overhead-dominated plateau: latency at H=64 within 2.2x of H=1
+            assert c[HIDDEN.index(64)] < 2.2 * c[0], (dev, fw)
+            # compute eventually shows up
+            assert c[-1] > c[0], (dev, fw)
+        # cortex is far below the baselines at small hidden sizes
+        assert curves[(dev, "cortex")][0] < 0.5 * curves[(dev, "dynet")][0]
+    # GPU overheads (flat part) exceed the CPU's in absolute terms
+    assert curves[("GPU", "dynet")][0] > curves[("Intel", "dynet")][0] * 0.8

@@ -1,0 +1,67 @@
+"""Table 6 — runtime activity breakdown, TreeLSTM GPU bs=10 hs=256.
+
+Claims reproduced: DyNet pays graph construction *and* dynamic batching;
+Cavs pays no graph construction and less batching; Cortex's dynamic
+batching collapses to linearization (microseconds) with no memory
+management; kernel-call counts follow DyNet >> Cavs >> Cortex = 1; CPU API
+time tracks the call counts.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.bench import baseline_latency_ms, cortex_latency_ms, format_table
+from repro.runtime import V100, breakdown_from_cost
+
+#: paper's Table 6 values (ms / counts) for orientation
+PAPER = {
+    "DyNet": {"dyn_batch": 1.21, "graph": 1.82, "kernels": 389,
+              "api": 12.28, "gpu": 1.71},
+    "Cavs": {"dyn_batch": 0.40, "graph": 0.0, "kernels": 122,
+             "api": 9.56, "gpu": 0.71},
+    "Cortex": {"dyn_batch": 0.01, "graph": 0.0, "kernels": 1,
+               "api": 0.35, "gpu": 0.32},
+}
+
+
+def _run():
+    model, h, bs = "treelstm", 256, 10
+    _, dy = baseline_latency_ms("dynet", model, h, bs, V100)
+    _, cv = baseline_latency_ms("cavs", model, h, bs, V100)
+    _, cost = cortex_latency_ms(model, h, bs, V100)
+    rows = {
+        "DyNet": dy.ledger.breakdown("DyNet"),
+        "Cavs": cv.ledger.breakdown("Cavs"),
+        "Cortex": breakdown_from_cost(cost),
+    }
+    return rows
+
+
+def test_table6_activity_breakdown(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = []
+    for name, bd in rows.items():
+        r = bd.row()
+        p = PAPER[name]
+        table_rows.append([
+            name, r["Dyn. batch (ms)"], r["Graph const. (ms)"],
+            r["Mem. mgmt GPU (ms)"], r["GPU compute (ms)"],
+            r["#Kernel calls"], r["CPU API time (ms)"], r["Exe. time (ms)"],
+            f"{p['kernels']}", f"{p['dyn_batch']}/{p['graph']}",
+        ])
+    table = format_table(
+        ["Framework", "Dyn.batch", "Graph", "Mem(GPU)", "GPU compute",
+         "#Kernels", "API time", "Exec", "Paper #K", "Paper DB/Graph"],
+        table_rows,
+        title="Table 6 — activity breakdown (TreeLSTM, GPU, bs=10, hs=256)")
+    save_result("table6_breakdown", table)
+
+    dy, cv, cx = rows["DyNet"], rows["Cavs"], rows["Cortex"]
+    # structural claims
+    assert dy.graph_construction_s > 0 and cv.graph_construction_s == 0
+    assert cx.graph_construction_s == 0
+    assert dy.kernel_calls > 2 * cv.kernel_calls > 2 * cx.kernel_calls
+    assert cx.kernel_calls == 1
+    assert cx.dynamic_batching_s < 0.1 * cv.dynamic_batching_s
+    assert cx.mem_mgmt_gpu_s == 0 and dy.mem_mgmt_gpu_s > 0
+    assert cx.api_time_s < cv.api_time_s < dy.api_time_s

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration: result capture for EXPERIMENTS.md."""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist one experiment's table so EXPERIMENTS.md can cite it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

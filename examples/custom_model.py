@@ -1,0 +1,101 @@
+"""Defining a custom recursive model with the Recursive API.
+
+Walks through exactly what Listing 1 of the paper does: express a new
+recursive model (a gated TreeRNN variant that is not in the zoo) as a DAG
+of tensor operators, apply the scheduling primitives, lower it, inspect the
+generated code, and run it — the full workflow a framework developer
+targeting Cortex as a backend would use.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro.ilir.codegen.compiled import CompiledModule
+from repro.ir import reduce_axis, reduce_sum, sigmoid, tanh
+from repro.linearizer import StructureKind, tree_from_nested
+from repro.ra import (NUM_NODES, Program, dynamic_batch, isleaf, lower,
+                      persist, specialize_if_else)
+from repro.runtime import V100, run_model
+
+H, V = 64, 200
+
+
+def build_gated_treernn() -> Program:
+    """h(n) = g * tanh(W (h_l + h_r)) with g = sigmoid(Wg (h_l + h_r))."""
+    with Program("gated_treernn", StructureKind.TREE, max_children=2) as p:
+        Emb = p.input_tensor((V, H), "Emb")
+        W = p.input_tensor((H, H), "W")
+        Wg = p.input_tensor((H, H), "Wg")
+        ph = p.placeholder((NUM_NODES, H), "h_ph")
+
+        # leaf case: embedding lookup (Listing 1, line 11)
+        leaf_h = p.compute((NUM_NODES, H), lambda n, i: Emb[n.word, i],
+                           "leaf_h")
+        # recursive case: children read through the placeholder
+        hsum = p.compute((NUM_NODES, H),
+                         lambda n, i: ph[n.left, i] + ph[n.right, i], "hsum")
+
+        def mv(Wt, name):
+            def body(n, i):
+                k = reduce_axis(H, p.fresh("k"))
+                return reduce_sum(Wt[i, k.var] * hsum[n, k.var], k)
+            return p.compute((NUM_NODES, H), body, name)
+
+        mh = mv(W, "mh")
+        mg = mv(Wg, "mg")
+        rec_h = p.compute((NUM_NODES, H),
+                          lambda n, i: sigmoid(mg[n, i]) * tanh(mh[n, i]),
+                          "rec_h")
+        body = p.if_then_else((NUM_NODES, H),
+                              lambda n, i: (isleaf(n), leaf_h, rec_h),
+                              "body_h")
+        rnn = p.recursion_op(ph, body, "rnn")
+
+        # scheduling primitives (Listing 1, lines 25-26)
+        dynamic_batch(rnn)
+        specialize_if_else(body)
+        persist(p)
+    return p
+
+
+def reference(node, params):
+    if node.is_leaf:
+        return params["Emb"][node.word].astype(np.float32)
+    s = reference(node.left, params) + reference(node.right, params)
+    g = 1.0 / (1.0 + np.exp(-(params["Wg"] @ s)))
+    return (g * np.tanh(params["W"] @ s)).astype(np.float32)
+
+
+def main() -> None:
+    prog = build_gated_treernn()
+    lowered = lower(prog)
+
+    print("=== compilation summary ===")
+    print(f"kernels: {[(k.name, k.kind) for k in lowered.module.kernels]}")
+    print(f"barriers per level: {lowered.module.meta['barriers_per_level']}")
+    checks = sum(r.checked for r in lowered.bounds.values())
+    gone = sum(r.eliminated for r in lowered.bounds.values())
+    print(f"bound checks eliminated by the prover: {gone}/{checks}")
+
+    print("\n=== C-like rendering of the fused kernel (excerpt) ===")
+    print("\n".join(lowered.module.c_source.splitlines()[:18]))
+
+    rng = np.random.default_rng(0)
+    params = {
+        "Emb": rng.standard_normal((V, H)).astype(np.float32) * 0.5,
+        "W": rng.standard_normal((H, H)).astype(np.float32) * 0.1,
+        "Wg": rng.standard_normal((H, H)).astype(np.float32) * 0.1,
+    }
+    tree = tree_from_nested((((1, 2), (3, 4)), (5, (6, 7))))
+    res = run_model(lowered, [tree], params, device=V100,
+                    compiled=CompiledModule(lowered.module))
+    got = res.root_output("rnn")[0]
+    want = reference(tree, params)
+    print("\n=== execution ===")
+    print(f"matches recursive reference: {np.allclose(got, want, atol=1e-4)}")
+    print(f"simulated latency: {res.simulated_time_s * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Cortex reproduction: a compiler for recursive deep learning models.
+
+Reproduces Fegade et al., *Cortex: A Compiler for Recursive Deep Learning
+Models* (MLSys 2021): the Recursive API, recursion-to-loops lowering, the
+Irregular Loops IR with its scheduling/compilation passes, data structure
+linearizers, code generation, simulated devices standing in for the paper's
+testbeds, and the baseline execution models it is evaluated against.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import api, data, ilir, ir, linearizer, models, ra, runtime
+from .api import CortexModel, compile_model
+from .errors import CortexError
+
+__version__ = "0.1.0"
+
+__all__ = ["api", "data", "ilir", "ir", "linearizer", "models", "ra",
+           "runtime", "CortexModel", "compile_model", "CortexError",
+           "__version__"]

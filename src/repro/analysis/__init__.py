@@ -1,0 +1,12 @@
+"""Analysis utilities: roofline model (App. C) and memory comparison (Fig. 12)."""
+
+from .memusage import memory_comparison
+from .report import compilation_report, kernel_report, placement_report
+from .roofline import (Roofline, asymptotic_intensities, measured_intensity,
+                       treefc_bytes_cortex, treefc_bytes_dynet,
+                       treefc_bytes_pytorch, treefc_flops, treefc_rooflines)
+
+__all__ = ["memory_comparison", "compilation_report", "kernel_report",
+           "placement_report", "Roofline", "asymptotic_intensities",
+           "measured_intensity", "treefc_bytes_cortex", "treefc_bytes_dynet",
+           "treefc_bytes_pytorch", "treefc_flops", "treefc_rooflines"]

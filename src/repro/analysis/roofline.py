@@ -1,0 +1,79 @@
+"""Roofline / operational-intensity analysis (Appendix C, Fig. 14).
+
+Reproduces the paper's analytical bookkeeping for the TreeFC model — total
+flops ``F`` and off-chip bytes ``B`` per framework — plus *measured*
+intensities extracted from the cost model / baseline ledgers, so the
+analytic ordering ``O_cortex > O_dynet > O_pytorch`` can be checked against
+the simulator's accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Flops, bytes and operational intensity of one framework's execution."""
+
+    framework: str
+    flops: float
+    bytes_: float
+
+    @property
+    def intensity(self) -> float:
+        return self.flops / self.bytes_ if self.bytes_ else math.inf
+
+
+def treefc_flops(N: int, B: int, H: int) -> float:
+    """F = B x N x (4 H^2 + H): matrix-vector products + bias (Fig. 14)."""
+    return float(B) * N * (4.0 * H * H + H)
+
+
+def treefc_bytes_cortex(N: int, B: int, H: int) -> float:
+    """Params read once (persisted); children read + state write per node."""
+    return 4.0 * ((2.0 * H * H + H) + float(B) * N * (2.0 * H + H))
+
+
+def treefc_bytes_dynet(N: int, B: int, H: int) -> float:
+    """Params re-read per dynamic batch (~log2 N levels); extra round trips
+    for the un-fused matvec results."""
+    levels = max(1.0, math.log2(max(N, 2)))
+    return 4.0 * (levels * (2.0 * H * H + H)
+                  + float(B) * N * (2.0 * H + H + H + H))
+
+
+def treefc_bytes_pytorch(N: int, B: int, H: int) -> float:
+    """Params re-read for every node."""
+    return 4.0 * (float(B) * N * (2.0 * H * H + H)
+                  + float(B) * N * (2.0 * H + H + H + H))
+
+
+def treefc_rooflines(N: int, B: int, H: int) -> Dict[str, Roofline]:
+    """The three Fig. 14 rooflines for given tree size / batch / hidden."""
+    F = treefc_flops(N, B, H)
+    return {
+        "cortex": Roofline("Cortex", F, treefc_bytes_cortex(N, B, H)),
+        "dynet": Roofline("DyNet", F, treefc_bytes_dynet(N, B, H)),
+        "pytorch": Roofline("PyTorch", F, treefc_bytes_pytorch(N, B, H)),
+    }
+
+
+def asymptotic_intensities(N0: int, B: int) -> Dict[str, float]:
+    """The paper's closed forms under N ~ H = N0 >> B >= 1.
+
+    O_cortex ~ B*N0 / (3B + 2),  O_dynet ~ B*N0 / (5B + 8 log2 N0),
+    O_pytorch ~ 0.5.
+    """
+    return {
+        "cortex": B * N0 / (3.0 * B + 2.0),
+        "dynet": B * N0 / (5.0 * B + 8.0 * math.log2(N0)),
+        "pytorch": 0.5,
+    }
+
+
+def measured_intensity(flops: float, dram_bytes: float) -> float:
+    """Operational intensity from simulator accounting (flops per byte)."""
+    return flops / dram_bytes if dram_bytes else math.inf

@@ -1,0 +1,103 @@
+"""High-level convenience API: compile and run models in a few lines.
+
+Example (the README quickstart)::
+
+    from repro import api
+    from repro.data import synthetic_treebank
+    from repro.runtime import V100
+
+    model = api.compile_model("treelstm", hidden=256)
+    trees = synthetic_treebank(10)
+    result = model.run(trees, device=V100)
+    print(result.root_output("rnn_h_ph").shape)   # (10, 256)
+    print(result.simulated_time_s)                # simulated latency
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .errors import ScheduleError
+from .ilir.codegen.compiled import CompiledModule
+from .linearizer import Node
+from .models.registry import ModelSpec, get_model
+from .ra import schedule as sched_mod
+from .ra.lowering import Lowered, lower
+from .ra.ops import Program
+from .runtime.device import Device
+from .runtime.executor import ExecutionResult, run_model
+
+
+@dataclass
+class CortexModel:
+    """A compiled model: program + generated code + parameters."""
+
+    spec: Optional[ModelSpec]
+    program: Program
+    lowered: Lowered
+    compiled: CompiledModule
+    params: Dict[str, np.ndarray]
+
+    def run(self, roots: Union[Node, Sequence[Node]], *,
+            device: Optional[Device] = None) -> ExecutionResult:
+        return run_model(self.lowered, roots, self.params,
+                         device=device, compiled=self.compiled)
+
+    @property
+    def python_source(self) -> str:
+        return self.lowered.module.python_source or ""
+
+    @property
+    def c_source(self) -> str:
+        return self.lowered.module.c_source or ""
+
+    @property
+    def outputs(self) -> Sequence[str]:
+        return self.lowered.module.output_buffers
+
+
+def compile_model(name: Union[str, ModelSpec], hidden: Optional[int] = None,
+                  vocab: int = 1000, *,
+                  fusion: str = "max", specialize: bool = True,
+                  dynamic_batch: bool = True, persistence: bool = True,
+                  unroll: bool = False, refactor: bool = False,
+                  per_block: bool = False, rational_approx: bool = False,
+                  dense_intermediates: bool = True,
+                  rng: Optional[np.random.Generator] = None,
+                  params: Optional[Mapping[str, np.ndarray]] = None,
+                  **build_kw) -> CortexModel:
+    """Build, schedule, lower and codegen one model from the zoo.
+
+    The default schedule is the paper's headline configuration: dynamic
+    batching + leaf specialization + maximal kernel fusion + model
+    persistence.  ``unroll`` / ``refactor`` correspond to §3.1's remaining
+    primitives (rejected for DAG models, as in the paper).
+    """
+    spec = get_model(name) if isinstance(name, str) else name
+    h = hidden if hidden is not None else spec.hs
+    if spec.short_name == "dagrnn":
+        prog = spec.build(hidden=h, **build_kw)
+        model_params = params or spec.random_params(hidden=h, rng=rng, **build_kw)
+    else:
+        prog = spec.build(hidden=h, vocab=vocab, **build_kw)
+        model_params = params or spec.random_params(hidden=h, vocab=vocab,
+                                                    rng=rng, **build_kw)
+
+    s = prog.schedule
+    s.dynamic_batch = dynamic_batch
+    s.specialize = specialize
+    s.fusion = fusion
+    s.persistence = persistence and fusion == "max"
+    s.per_block = per_block
+    s.dense_intermediates = dense_intermediates
+    if unroll:
+        sched_mod.unroll(prog)
+    if refactor:
+        sched_mod.recursive_refactor(prog)
+    lowered = lower(prog, rational_approx=rational_approx)
+    compiled = CompiledModule(lowered.module)
+    return CortexModel(spec=spec, program=prog, lowered=lowered,
+                       compiled=compiled, params=dict(model_params))

@@ -1,0 +1,48 @@
+"""Cavs-like baseline: vertex-centric batched execution.
+
+Cavs (Xu et al. 2018) replaces the per-input dataflow graph with a single
+*vertex function* scheduled over the input structure: no graph
+construction, lighter dynamic batching, but still vendor-library execution
+with contiguity copies, and only *partial* kernel fusion (Table 1) — an
+elementwise operator consuming its predecessor's output fuses into it, but
+reductions and scattered consumers still break kernels.
+
+The open-source Cavs limitations the paper works around (§7.2) hold here
+too: GPU-oriented, no leaf-check specialization, no lazy batching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..linearizer import Linearizer, Node, StructureKind
+from ..runtime.device import Device
+from .cells import get_cell
+from .engine import run_levels
+from .framework import Ledger, VendorKernels
+from .pytorch_like import BaselineResult
+
+#: 'think-like-a-vertex' scheduling cost per vertex (Table 6: 0.40 ms of
+#: dynamic batching for ~370 vertices)
+VERTEX_S = 1.05e-6
+
+
+def run(model_name: str, params: Dict[str, np.ndarray],
+        roots: Sequence[Node], device: Device) -> BaselineResult:
+    cell = get_cell(model_name)
+    kind = (StructureKind.DAG if model_name == "dagrnn"
+            else StructureKind.SEQUENCE if model_name.startswith("seq")
+            else StructureKind.TREE)
+    lin = Linearizer(kind, cell.max_children,
+                     dynamic_batch=True, specialize_leaves=True)(roots)
+
+    ledger = Ledger(device=device)
+    for p in params.values():
+        ledger.alloc(p.nbytes)
+    ledger.host(lin.num_nodes * VERTEX_S, "batch")
+
+    vk = VendorKernels(ledger, fuse_elementwise=True)
+    states = run_levels(cell, params, lin, vk)
+    return BaselineResult(states=states, lin=lin, ledger=ledger)

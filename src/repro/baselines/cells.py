@@ -1,0 +1,243 @@
+"""Per-model cell definitions over the vendor-kernel surface.
+
+Each cell describes how one model computes a *batch* of leaves or internal
+nodes out of vendor library calls — the op-by-op execution every baseline
+framework shares (they differ in batching strategy and overheads, not
+math).  Outputs are numerically identical to the model references, which
+the tests assert.
+
+``internal`` receives one state tuple per child slot, plus a ``(B, K)``
+validity mask for child-sum models (invalid slots carry garbage rows that
+the mask zeroes, exactly like Cortex's masked child reductions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .framework import VendorKernels
+
+State = Tuple[np.ndarray, ...]
+
+
+@dataclass(frozen=True)
+class CellDef:
+    """One model's per-batch computation in vendor-library ops.
+
+    Attributes:
+        name: model short name.
+        n_states: recursion state arity (TreeLSTM: 2, MV-RNN: 2, else 1).
+        max_children: child slots ``internal`` expects.
+        leaf_ops / internal_ops: operator counts (DyNet graph-size metric).
+        needs_mask: whether internal uses the child-validity mask.
+    """
+
+    name: str
+    n_states: int
+    max_children: int
+    leaf_ops: int
+    internal_ops: int
+    leaf: Callable[[VendorKernels, Dict[str, np.ndarray], np.ndarray], State]
+    internal: Callable[[VendorKernels, Dict[str, np.ndarray], List[State],
+                        Optional[np.ndarray]], State]
+    needs_mask: bool = False
+
+
+def _masked_sum(vk: VendorKernels, parts: Sequence[np.ndarray],
+                mask: Optional[np.ndarray]) -> np.ndarray:
+    """sum_k mask[:, k] * parts[k] — one mul/add kernel per term."""
+    acc = None
+    for k, part in enumerate(parts):
+        term = part if mask is None else vk.mul(part, mask[:, k:k + 1])
+        acc = term if acc is None else vk.add(acc, term)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# TreeRNN
+
+
+def _treernn_leaf(vk, params, words):
+    return (vk.embedding(params["Emb"], words),)
+
+
+def _treernn_internal(vk, params, children, mask):
+    (hl,), (hr,) = children
+    return (vk.tanh(vk.add(hl, hr)),)
+
+
+# ---------------------------------------------------------------------------
+# TreeFC
+
+
+def _treefc_leaf(vk, params, words):
+    return (vk.embedding(params["Emb"], words),)
+
+
+def _treefc_internal(vk, params, children, mask):
+    (hl,), (hr,) = children
+    z = vk.add(vk.linear(params["Wl"], hl), vk.linear(params["Wr"], hr))
+    return (vk.relu(vk.add_bias(z, params["b"])),)
+
+
+# ---------------------------------------------------------------------------
+# TreeGRU / SimpleTreeGRU
+
+
+def _treegru_internal(vk, params, children, mask, *, simple: bool):
+    h_sum = _masked_sum(vk, [c[0] for c in children], mask)
+    z = vk.sigmoid(vk.add_bias(vk.linear(params["Uz"], h_sum), params["bz"]))
+    r = vk.sigmoid(vk.add_bias(vk.linear(params["Ur"], h_sum), params["br"]))
+    hp = vk.tanh(vk.add_bias(vk.linear(params["Uh"], vk.mul(r, h_sum)),
+                             params["bh"]))
+    out = vk.mul(vk.one_minus(z), hp)
+    if not simple:
+        out = vk.add(vk.mul(z, h_sum), out)
+    return (out,)
+
+
+# ---------------------------------------------------------------------------
+# TreeLSTM (child-sum)
+
+
+def _treelstm_leaf(vk, params, words):
+    h = vk.embedding(params["Emb"], words)
+    c = vk.zeros(h.shape)
+    return (h, c)
+
+
+def _treelstm_internal(vk, params, children, mask):
+    hs = [c[0] for c in children]
+    cs = [c[1] for c in children]
+    h_tilde = _masked_sum(vk, hs, mask)
+    gi = vk.sigmoid(vk.add_bias(vk.linear(params["Ui"], h_tilde), params["bi"]))
+    go = vk.sigmoid(vk.add_bias(vk.linear(params["Uo"], h_tilde), params["bo"]))
+    gu = vk.tanh(vk.add_bias(vk.linear(params["Uu"], h_tilde), params["bu"]))
+    c = vk.mul(gi, gu)
+    for k, (hk, ck) in enumerate(zip(hs, cs)):
+        fk = vk.sigmoid(vk.add_bias(vk.linear(params["Uf"], hk), params["bf"]))
+        term = vk.mul(fk, ck)
+        if mask is not None:
+            term = vk.mul(term, mask[:, k:k + 1])
+        c = vk.add(c, term)
+    h = vk.mul(go, vk.tanh(c))
+    return (h, c)
+
+
+# ---------------------------------------------------------------------------
+# MV-RNN
+
+
+def _mvrnn_leaf(vk, params, words):
+    h = vk.embedding(params["Emb"], words)
+    M = vk.stack([params["Minit"]] * len(words))
+    return (h, M)
+
+
+def _mvrnn_internal(vk, params, children, mask):
+    (hl, Ml), (hr, Mr) = children
+    a = vk.bmm(Mr, hl[:, :, None])[:, :, 0]
+    b = vk.bmm(Ml, hr[:, :, None])[:, :, 0]
+    h = vk.tanh(vk.add_bias(
+        vk.add(vk.linear(params["Wa"], a), vk.linear(params["Wb"], b)),
+        params["bh"]))
+    M = vk.add(vk.bmm(np.broadcast_to(params["WMl"], Ml.shape), Ml),
+               vk.bmm(np.broadcast_to(params["WMr"], Mr.shape), Mr))
+    return (h, M)
+
+
+# ---------------------------------------------------------------------------
+# DAG-RNN
+
+
+def _dagrnn_leaf(vk, params, words):
+    feat = vk.embedding(params["Feat"], words)
+    return (vk.tanh(vk.add_bias(feat, params["b"])),)
+
+
+def _dagrnn_internal(vk, params, children, mask):
+    h_sum = _masked_sum(vk, [c[0] for c in children], mask)
+    feat_plus = vk.linear(params["U"], h_sum)
+    # feature rows are gathered by the engine and passed via params["_feat"]
+    z = vk.add(feat_plus, params["_feat"])
+    return (vk.tanh(vk.add_bias(z, params["b"])),)
+
+
+# ---------------------------------------------------------------------------
+# Sequential LSTM / GRU (children = [previous step])
+
+
+def _zeros_leaf_1(vk, params, words):
+    H = params["Uz" if "Uz" in params else "Ui"].shape[0]
+    return (vk.zeros((len(words), H)),)
+
+
+def _zeros_leaf_2(vk, params, words):
+    H = params["Ui"].shape[0]
+    z = vk.zeros((len(words), H))
+    return (z, vk.zeros((len(words), H)))
+
+
+def _seq_lstm_internal(vk, params, children, mask):
+    (hp, cp), = children
+    x = params["_x"]  # gathered input rows for this step batch
+    gate = {}
+    for g in "iofu":
+        z = vk.add(vk.linear(params[f"U{g}"], hp),
+                   vk.linear(params[f"Wx{g}"], x))
+        z = vk.add_bias(z, params[f"b{g}"])
+        gate[g] = vk.tanh(z) if g == "u" else vk.sigmoid(z)
+    c = vk.add(vk.mul(gate["f"], cp), vk.mul(gate["i"], gate["u"]))
+    h = vk.mul(gate["o"], vk.tanh(c))
+    return (h, c)
+
+
+def _seq_gru_internal(vk, params, children, mask):
+    (hp,), = children
+    x = params["_x"]
+    z = vk.sigmoid(vk.add_bias(
+        vk.add(vk.linear(params["Uz"], hp), vk.linear(params["Wxz"], x)),
+        params["bz"]))
+    r = vk.sigmoid(vk.add_bias(
+        vk.add(vk.linear(params["Ur"], hp), vk.linear(params["Wxr"], x)),
+        params["br"]))
+    hp2 = vk.tanh(vk.add_bias(
+        vk.add(vk.linear(params["Uh"], vk.mul(r, hp)),
+               vk.linear(params["Wxh"], x)),
+        params["bh"]))
+    return (vk.add(vk.mul(z, hp), vk.mul(vk.one_minus(z), hp2)),)
+
+
+CELLS: Dict[str, CellDef] = {
+    "treernn": CellDef("treernn", 1, 2, 1, 2,
+                       _treernn_leaf, _treernn_internal),
+    "treefc": CellDef("treefc", 1, 2, 1, 5,
+                      _treefc_leaf, _treefc_internal),
+    "treegru": CellDef(
+        "treegru", 1, 2, 1, 14, _treefc_leaf,
+        lambda vk, p, ch, m: _treegru_internal(vk, p, ch, m, simple=False),
+        needs_mask=True),
+    "simple_treegru": CellDef(
+        "simple_treegru", 1, 2, 1, 12, _treefc_leaf,
+        lambda vk, p, ch, m: _treegru_internal(vk, p, ch, m, simple=True),
+        needs_mask=True),
+    "treelstm": CellDef("treelstm", 2, 2, 2, 21,
+                        _treelstm_leaf, _treelstm_internal, needs_mask=True),
+    "mvrnn": CellDef("mvrnn", 2, 2, 2, 10, _mvrnn_leaf, _mvrnn_internal),
+    "dagrnn": CellDef("dagrnn", 1, 2, 2, 6, _dagrnn_leaf, _dagrnn_internal,
+                      needs_mask=True),
+    "seq_lstm": CellDef("seq_lstm", 2, 1, 2, 19,
+                        _zeros_leaf_2, _seq_lstm_internal),
+    "seq_gru": CellDef("seq_gru", 1, 1, 1, 15,
+                       _zeros_leaf_1, _seq_gru_internal),
+}
+
+
+def get_cell(name: str) -> CellDef:
+    try:
+        return CELLS[name]
+    except KeyError:
+        raise KeyError(f"no baseline cell for model {name!r}")

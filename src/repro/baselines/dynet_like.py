@@ -1,0 +1,66 @@
+"""DyNet-like baseline: runtime dataflow graph + agenda auto-batching.
+
+DyNet (Neubig et al. 2017) builds a dataflow graph of *tensor operators*
+for every input batch, then batches signature-compatible operators on the
+fly.  Costs reproduced here (Table 6's first row):
+
+* **graph construction** — host time proportional to the number of operator
+  nodes (a much larger graph than the input structure, §7.2);
+* **dynamic batching** — agenda scanning, again proportional to operator
+  count;
+* **contiguity copies** — every batched vendor call gathers its scattered
+  inputs into fresh contiguous buffers (charged memcpys);
+* **kernel calls** — one vendor call per operator per level, parameters
+  re-read each call (``B_dynet`` in Appendix C);
+* **memory** — designed for training: intermediates are not freed during
+  the forward pass (Fig. 12); ``inference_mode=True`` simulates
+  deallocation after each level (the "DyNet (inference)" bar).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..linearizer import Linearizer, Node, StructureKind
+from ..runtime.device import Device
+from .cells import get_cell
+from .engine import run_levels
+from .framework import Ledger, VendorKernels
+from .pytorch_like import BaselineResult
+
+#: host cost per operator node for graph construction / agenda batching,
+#: calibrated to Table 6 (1.82 ms construction, 1.21 ms batching for
+#: TreeLSTM bs=10 hs=256: ~4.4k operator nodes)
+GRAPH_NODE_S = 4.1e-7
+AGENDA_NODE_S = 2.7e-7
+
+
+def run(model_name: str, params: Dict[str, np.ndarray],
+        roots: Sequence[Node], device: Device, *,
+        inference_mode: bool = False) -> BaselineResult:
+    cell = get_cell(model_name)
+    kind = (StructureKind.DAG if model_name == "dagrnn"
+            else StructureKind.SEQUENCE if model_name.startswith("seq")
+            else StructureKind.TREE)
+    lin = Linearizer(kind, cell.max_children,
+                     dynamic_batch=True, specialize_leaves=True)(roots)
+
+    ledger = Ledger(device=device)
+    for p in params.values():
+        ledger.alloc(p.nbytes)
+
+    # phase 1+2: graph construction and agenda batching over operator
+    # nodes; DyNet expression graphs use coarse ops (affine, cwise), so the
+    # graph is roughly half the vendor-call count
+    n_internal = lin.num_nodes - lin.num_leaves
+    op_nodes = 0.5 * (lin.num_leaves * cell.leaf_ops
+                      + n_internal * cell.internal_ops)
+    ledger.host(op_nodes * GRAPH_NODE_S, "graph")
+    ledger.host(op_nodes * AGENDA_NODE_S, "batch")
+
+    vk = VendorKernels(ledger)
+    states = run_levels(cell, params, lin, vk,
+                        release_after_level=inference_mode)
+    return BaselineResult(states=states, lin=lin, ledger=ledger)

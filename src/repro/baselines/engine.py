@@ -1,0 +1,141 @@
+"""Shared execution engine for the baseline frameworks.
+
+Executes a model's :class:`~repro.baselines.cells.CellDef` over a
+linearized input batch, level by level.  The engine reuses the repository's
+linearizer purely as a *scheduler* (height grouping is what DyNet's agenda
+and Cavs' vertex scheduler arrive at for these models); each framework
+charges its own host-side costs for reaching that schedule.
+
+All child-state gathers go through ``vk.gather_rows`` — the contiguity
+copies vendor-library batching requires (§7.2) — and every vendor call is
+charged by the :class:`~repro.baselines.framework.Ledger`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..linearizer import Linearized
+from .cells import CellDef
+from .framework import VendorKernels
+
+State = Tuple[np.ndarray, ...]
+
+
+def _step_params(cell: CellDef, params: Dict[str, np.ndarray],
+                 vk: VendorKernels, words: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-batch auxiliary inputs (feature rows for DAG-RNN / seq models)."""
+    out = params
+    if cell.name == "dagrnn":
+        out = {**params, "_feat": vk.embedding(params["Feat"], words)}
+    elif cell.name.startswith("seq"):
+        out = {**params, "_x": vk.embedding(params["X"], words)}
+    return out
+
+
+def run_levels(cell: CellDef, params: Dict[str, np.ndarray], lin: Linearized,
+               vk: VendorKernels, *, release_after_level: bool = False
+               ) -> List[np.ndarray]:
+    """Execute level by level; returns per-state ``(N, ...)`` result arrays.
+
+    ``release_after_level`` models inference-mode deallocation (the "DyNet
+    (inference)" variant of Fig. 12): intermediates of a level are freed
+    once the level completes, leaving only the per-node states live.
+    """
+    n = lin.num_nodes
+    results: List[Optional[np.ndarray]] = [None] * cell.n_states
+
+    for b in range(lin.num_batches):
+        begin = int(lin.batch_begin[b])
+        length = int(lin.batch_length[b])
+        rows = np.arange(begin, begin + length)
+        words = lin.words[rows]
+        level_start_bytes = vk.ledger.current_bytes
+
+        is_leaf_batch = bool(np.all(lin.num_children[rows] == 0))
+        sp = _step_params(cell, params, vk, words)
+        if is_leaf_batch:
+            states = cell.leaf(vk, sp, words)
+        else:
+            children: List[State] = []
+            arity = lin.num_children[rows]
+            mask = None
+            if cell.needs_mask:
+                ks = np.arange(cell.max_children)
+                mask = (ks[None, :] < arity[:, None]).astype(np.float32)
+            for k in range(cell.max_children):
+                ids = lin.child[k, rows]
+                safe = np.maximum(ids, 0)
+                child_state = tuple(
+                    vk.gather_rows(results[s], safe)  # type: ignore[arg-type]
+                    for s in range(cell.n_states))
+                children.append(child_state)
+            states = cell.internal(vk, sp, children, mask)
+
+        new_state_bytes = 0.0
+        for s, arr in enumerate(states):
+            if results[s] is None:
+                shape = (n,) + arr.shape[1:]
+                results[s] = np.zeros(shape, np.float32)
+                vk.ledger.alloc(results[s].nbytes)
+                new_state_bytes += results[s].nbytes
+            results[s][rows] = arr
+
+        if release_after_level:
+            # inference-mode deallocation: free everything this level
+            # allocated except the persistent per-node state arrays
+            extra = (vk.ledger.current_bytes - level_start_bytes
+                     - new_state_bytes)
+            vk.ledger.free(max(0.0, extra))
+
+    return results  # type: ignore[return-value]
+
+
+def run_per_node(cell: CellDef, params: Dict[str, np.ndarray],
+                 lin: Linearized, vk: VendorKernels) -> List[np.ndarray]:
+    """Eager per-node execution (the PyTorch-like strategy).
+
+    Every node is its own "batch" of one; intermediates die as soon as the
+    node's state is stored (eager reference counting), so only parameters
+    and per-node states stay live.
+    """
+    n = lin.num_nodes
+    results: List[Optional[np.ndarray]] = [None] * cell.n_states
+
+    # post-order over node ids: children have higher ids, so descending
+    # order is a valid execution order under the Appendix-B numbering
+    for node in range(n - 1, -1, -1):
+        before = vk.ledger.current_bytes
+        rows = np.array([node])
+        words = lin.words[rows]
+        sp = _step_params(cell, params, vk, words)
+        if lin.num_children[node] == 0:
+            states = cell.leaf(vk, sp, words)
+        else:
+            arity = int(lin.num_children[node])
+            mask = None
+            if cell.needs_mask:
+                ks = np.arange(cell.max_children)
+                mask = (ks[None, :] < arity).astype(np.float32)
+            children = []
+            for k in range(cell.max_children):
+                cid = int(lin.child[k, node])
+                safe = max(cid, 0)
+                children.append(tuple(
+                    vk.gather_rows(results[s], np.array([safe]))
+                    for s in range(cell.n_states)))
+            states = cell.internal(vk, sp, children, mask)
+
+        state_nbytes = 0.0
+        for s, arr in enumerate(states):
+            if results[s] is None:
+                results[s] = np.zeros((n,) + arr.shape[1:], np.float32)
+            results[s][rows] = arr
+            state_nbytes += arr.nbytes
+        # eager free: everything this node allocated except its state rows
+        allocated = vk.ledger.current_bytes - before
+        vk.ledger.free(max(0.0, allocated - state_nbytes))
+
+    return results  # type: ignore[return-value]

@@ -1,0 +1,235 @@
+"""Shared baseline-framework infrastructure.
+
+The baselines (PyTorch-like, DyNet-like, Cavs-like) all execute models by
+calling *vendor library* kernels — opaque, individually optimized functions
+(cuDNN/cuBLAS/MKL in the paper).  :class:`VendorKernels` reproduces that
+interface over NumPy while charging the costs the interface implies:
+
+* every call is a kernel launch (fixed overhead + roofline execution);
+* every call reads its operands — including the *full parameter tensors* —
+  from DRAM and writes its output back (no cross-kernel fusion, no
+  persistence: kernels are optimized in isolation, §1);
+* batched calls require contiguous inputs, so gathering scattered rows
+  costs an explicit memcpy (the "Mem. mgmt" overheads of Table 6).
+
+:class:`Ledger` accumulates the same activity categories as Table 6 so the
+breakdown bench can print one row per framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.device import Device
+from ..runtime.kernels import sigmoid as np_sigmoid
+from ..runtime.profiler import ActivityBreakdown
+
+#: flop weight of a transcendental intrinsic (matches the Cortex cost model)
+INTRINSIC_FLOPS = 8.0
+
+
+@dataclass
+class Ledger:
+    """Cost accumulator with Table 6's activity categories."""
+
+    device: Device
+    kernel_calls: int = 0
+    memcpy_calls: int = 0
+    launch_s: float = 0.0
+    exec_s: float = 0.0
+    memcpy_s: float = 0.0
+    graph_construction_s: float = 0.0
+    dynamic_batching_s: float = 0.0
+    host_dispatch_s: float = 0.0
+    dram_bytes: float = 0.0
+    flops: float = 0.0
+    #: peak / current device memory tracking (Fig. 12)
+    current_bytes: float = 0.0
+    peak_bytes: float = 0.0
+
+    # -- events ---------------------------------------------------------------
+    def kernel(self, flops: float, bytes_moved: float,
+               elems: float = 0.0, broadcast_bytes: float = 0.0) -> None:
+        self.kernel_calls += 1
+        self.launch_s += self.device.kernel_launch_s
+        eff = self.device.efficiency(elems) if elems else 1.0
+        t = max(flops / (self.device.flops * eff),
+                bytes_moved / (self.device.dram_bw * eff))
+        # parameter streams prefetch at full bandwidth (serial prologue),
+        # matching the Cortex cost model's treatment of broadcast reads
+        t += broadcast_bytes / self.device.dram_bw
+        self.exec_s += max(t, self.device.min_kernel_s)
+        self.flops += flops
+        self.dram_bytes += bytes_moved + broadcast_bytes
+
+    def memcpy(self, bytes_moved: float) -> None:
+        self.memcpy_calls += 1
+        self.memcpy_s += (self.device.memcpy_launch_s
+                          + bytes_moved / self.device.dram_bw)
+        self.dram_bytes += bytes_moved
+
+    def host(self, seconds: float, category: str = "dispatch") -> None:
+        if category == "graph":
+            self.graph_construction_s += seconds
+        elif category == "batch":
+            self.dynamic_batching_s += seconds
+        else:
+            self.host_dispatch_s += seconds
+
+    def alloc(self, nbytes: float) -> None:
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def free(self, nbytes: float) -> None:
+        self.current_bytes = max(0.0, self.current_bytes - nbytes)
+
+    # -- results -----------------------------------------------------------------
+    @property
+    def total_time_s(self) -> float:
+        return (self.launch_s + self.exec_s + self.memcpy_s
+                + self.graph_construction_s + self.dynamic_batching_s
+                + self.host_dispatch_s)
+
+    def breakdown(self, framework: str) -> ActivityBreakdown:
+        return ActivityBreakdown(
+            framework=framework,
+            dynamic_batching_s=self.dynamic_batching_s,
+            graph_construction_s=self.graph_construction_s,
+            mem_mgmt_cpu_s=self.memcpy_calls * self.device.memcpy_launch_s,
+            mem_mgmt_gpu_s=self.memcpy_s,
+            gpu_compute_s=self.exec_s,
+            kernel_calls=self.kernel_calls,
+            memcpy_calls=self.memcpy_calls,
+            api_time_s=self.launch_s + self.memcpy_s,
+            exec_time_s=self.total_time_s,
+        )
+
+
+class VendorKernels:
+    """Vendor-library call surface: NumPy semantics + per-call costs.
+
+    All tensor arguments are 2-D batches ``(B, H)`` (or 3-D for per-node
+    matrices).  ``track_memory`` controls whether outputs count toward the
+    ledger's live-bytes watermark (frameworks free buffers differently).
+    """
+
+    def __init__(self, ledger: Ledger, *, track_memory: bool = True,
+                 fuse_elementwise: bool = False):
+        self.ledger = ledger
+        self.track_memory = track_memory
+        #: Cavs-style partial fusion: an elementwise op consuming the
+        #: previous op's output extends that kernel instead of launching a
+        #: new one (Table 1's "Partial" kernel fusion).
+        self.fuse_elementwise = fuse_elementwise
+        self._last_out: int = -1
+
+    # -- helpers ---------------------------------------------------------------
+    def _out(self, arr: np.ndarray) -> np.ndarray:
+        if self.track_memory:
+            self.ledger.alloc(arr.nbytes)
+        self._last_out = id(arr)
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        """Framework freed an intermediate (inference-mode deallocation)."""
+        if self.track_memory:
+            self.ledger.free(arr.nbytes)
+
+    def _elementwise(self, inputs, out: np.ndarray, flops: float) -> np.ndarray:
+        fused = self.fuse_elementwise and any(
+            id(x) == self._last_out for x in inputs)
+        if fused:
+            # extend the previous kernel: the intermediate stays in
+            # registers, only the new output is written
+            dev = self.ledger.device
+            eff = dev.efficiency(out.size)
+            self.ledger.exec_s += max(flops / (dev.flops * eff),
+                                      out.nbytes / (dev.dram_bw * eff))
+            self.ledger.flops += flops
+            self.ledger.dram_bytes += out.nbytes
+        else:
+            total = sum(x.nbytes for x in inputs) + out.nbytes
+            self.ledger.kernel(flops=flops, bytes_moved=total, elems=out.size)
+        return self._out(out)
+
+    def _unary(self, x: np.ndarray, fn, intrinsic: bool) -> np.ndarray:
+        out = fn(x).astype(np.float32)
+        w = INTRINSIC_FLOPS if intrinsic else 1.0
+        return self._elementwise([x], out, w * x.size)
+
+    def _binary(self, a: np.ndarray, b: np.ndarray, fn) -> np.ndarray:
+        out = fn(a, b).astype(np.float32)
+        return self._elementwise([a, b], out, float(out.size))
+
+    # -- BLAS ------------------------------------------------------------------
+    def linear(self, W: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """``X @ W.T`` — one GEMM call; W re-read from DRAM every call."""
+        out = (X @ W.T).astype(np.float32)
+        self.ledger.kernel(flops=2.0 * X.shape[0] * W.shape[0] * W.shape[1],
+                           bytes_moved=X.nbytes + out.nbytes,
+                           elems=out.size, broadcast_bytes=W.nbytes)
+        return self._out(out)
+
+    def bmm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Batched matmul ``A[b] @ B[b]`` (MV-RNN's per-node products)."""
+        out = np.matmul(A, B).astype(np.float32)
+        k = A.shape[-1]
+        self.ledger.kernel(flops=2.0 * out.size * k,
+                           bytes_moved=A.nbytes + B.nbytes + out.nbytes,
+                           elems=out.size)
+        return self._out(out)
+
+    # -- elementwise ----------------------------------------------------------
+    def add(self, a, b):
+        return self._binary(a, b, np.add)
+
+    def sub(self, a, b):
+        return self._binary(a, b, np.subtract)
+
+    def mul(self, a, b):
+        return self._binary(a, b, np.multiply)
+
+    def add_bias(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._binary(x, np.broadcast_to(b, x.shape), np.add)
+
+    def tanh(self, x):
+        return self._unary(x, np.tanh, True)
+
+    def sigmoid(self, x):
+        return self._unary(x, np_sigmoid, True)
+
+    def relu(self, x):
+        return self._unary(x, lambda v: np.maximum(v, 0), False)
+
+    def one_minus(self, x):
+        return self._unary(x, lambda v: 1.0 - v, False)
+
+    # -- data movement -----------------------------------------------------------
+    def embedding(self, table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        out = table[ids].astype(np.float32)
+        self.ledger.kernel(flops=0.0, bytes_moved=2.0 * out.nbytes,
+                           elems=out.size)
+        return self._out(out)
+
+    def gather_rows(self, src: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Contiguity copy before a batched vendor call (charged memcpy)."""
+        out = np.ascontiguousarray(src[rows])
+        self.ledger.memcpy(2.0 * out.nbytes)
+        out = self._out(out)
+        self._last_out = -1  # memcpys are fusion boundaries
+        return out
+
+    def stack(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Make a batch contiguous from scattered per-node results."""
+        out = np.stack(parts).astype(np.float32)
+        self.ledger.memcpy(2.0 * out.nbytes)
+        out = self._out(out)
+        self._last_out = -1
+        return out
+
+    def zeros(self, shape) -> np.ndarray:
+        out = np.zeros(shape, np.float32)
+        return self._out(out)

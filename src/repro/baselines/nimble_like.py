@@ -1,0 +1,48 @@
+"""Nimble-like baseline: compiled per-operator kernels, no dynamic batching.
+
+Nimble (Shen et al. 2020) adapts deep-learning-compiler technology to
+dynamic models: operators run as *auto-tuned compiled kernels* rather than
+vendor-library calls (Table 1: no vendor libraries, partial fusion), but it
+performs no dynamic batching and no model persistence — execution walks the
+recursion one node at a time like PyTorch, just with cheaper, partially
+fused kernels and no eager-dispatch tax.
+
+This fills in the Table 1 row the paper lists but does not benchmark;
+the memory/latency behaviour is asserted relative to the other baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..linearizer import Linearizer, Node, StructureKind
+from ..runtime.device import Device
+from .cells import get_cell
+from .engine import run_per_node
+from .framework import Ledger, VendorKernels
+from .pytorch_like import BaselineResult
+
+#: VM dispatch cost per compiled-kernel invocation (much lighter than
+#: PyTorch's eager dispatch; Nimble's paper reports sub-microsecond
+#: per-instruction interpretation)
+DISPATCH_S = 4e-7
+
+
+def run(model_name: str, params: Dict[str, np.ndarray],
+        roots: Sequence[Node], device: Device) -> BaselineResult:
+    cell = get_cell(model_name)
+    kind = (StructureKind.DAG if model_name == "dagrnn"
+            else StructureKind.SEQUENCE if model_name.startswith("seq")
+            else StructureKind.TREE)
+    lin = Linearizer(kind, cell.max_children,
+                     dynamic_batch=False, specialize_leaves=False)(roots)
+    ledger = Ledger(device=device)
+    for p in params.values():
+        ledger.alloc(p.nbytes)
+    # compiled kernels with partial elementwise fusion, per node
+    vk = VendorKernels(ledger, fuse_elementwise=True)
+    states = run_per_node(cell, params, lin, vk)
+    ledger.host(ledger.kernel_calls * DISPATCH_S, "dispatch")
+    return BaselineResult(states=states, lin=lin, ledger=ledger)

@@ -1,0 +1,14 @@
+"""Synthetic workload generators matching the paper's Table 2 datasets."""
+
+from .dags import grid_dag, grid_dag_batch, random_dag
+from .trees import (SST_MAX_LEN, SST_MEAN_LEN, SST_MIN_LEN, SST_STD_LEN,
+                    left_chain_tree, perfect_binary_tree, random_binary_tree,
+                    synthetic_treebank)
+from .vocab import DEFAULT_VOCAB_SIZE, random_embeddings, random_words
+
+__all__ = [
+    "grid_dag", "grid_dag_batch", "random_dag", "SST_MAX_LEN", "SST_MEAN_LEN",
+    "SST_MIN_LEN", "SST_STD_LEN", "left_chain_tree", "perfect_binary_tree",
+    "random_binary_tree", "synthetic_treebank", "DEFAULT_VOCAB_SIZE",
+    "random_embeddings", "random_words",
+]

@@ -1,0 +1,87 @@
+"""DAG workload generators: the DAG-RNN benchmark input (Table 2).
+
+The paper evaluates the recursive portion of DAG-RNN (Shuai et al. 2015,
+scene labeling) on *synthetic DAGs of size 10x10* — the southeast sweep of a
+pixel grid, where cell (i, j) depends on its already-processed neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import LinearizationError
+from ..linearizer.structures import Node
+
+
+def grid_dag(rows: int = 10, cols: int = 10, *, diagonal: bool = False,
+             rng: np.random.Generator | None = None,
+             feature_base: int = 0) -> Node:
+    """A ``rows x cols`` grid DAG for the SE sweep; returns the sink (root).
+
+    Node ``(i, j)`` has children (its dependencies) ``(i-1, j)`` and
+    ``(i, j-1)`` (plus ``(i-1, j-1)`` when ``diagonal``).  Only cell (0, 0)
+    is a leaf, which is why specialization does not pay off for DAG-RNN
+    (§7.3).  The ``word`` payload is the flattened cell index offset by
+    ``feature_base`` so batched DAGs index disjoint feature rows.
+    """
+    if rows < 1 or cols < 1:
+        raise LinearizationError("grid must be at least 1x1")
+    cells: List[List[Node]] = [[None] * cols for _ in range(rows)]  # type: ignore
+    for i in range(rows):
+        for j in range(cols):
+            deps: List[Node] = []
+            if i > 0:
+                deps.append(cells[i - 1][j])
+            if j > 0:
+                deps.append(cells[i][j - 1])
+            if diagonal and i > 0 and j > 0:
+                deps.append(cells[i - 1][j - 1])
+            cells[i][j] = Node(deps, word=feature_base + i * cols + j)
+    return cells[rows - 1][cols - 1]
+
+
+def grid_dag_batch(batch: int, rows: int = 10, cols: int = 10, *,
+                   diagonal: bool = False) -> List[Node]:
+    """A batch of independent grid DAGs with disjoint feature rows."""
+    return [grid_dag(rows, cols, diagonal=diagonal, feature_base=b * rows * cols)
+            for b in range(batch)]
+
+
+def random_dag(num_nodes: int, max_children: int = 2, *, p_leaf: float = 0.25,
+               rng: np.random.Generator | None = None) -> Node:
+    """A random connected DAG with bounded arity; returns the covering root.
+
+    Nodes are created in topological order; each non-leaf picks 1..max
+    children among earlier nodes.  Remaining parentless nodes are adopted
+    through a chain of join nodes so that *every* node, including the root,
+    respects ``max_children``.
+    """
+    rng = rng or np.random.default_rng(0)
+    if num_nodes < 1:
+        raise LinearizationError("need at least one node")
+    nodes: List[Node] = [Node((), word=0)]
+    has_parent = [False]
+    for k in range(1, num_nodes):
+        if rng.random() < p_leaf:
+            nodes.append(Node((), word=k))
+            has_parent.append(False)
+        else:
+            n_children = int(rng.integers(1, max_children + 1))
+            picks = rng.choice(len(nodes), size=min(n_children, len(nodes)),
+                               replace=False)
+            for p in picks:
+                has_parent[p] = True
+            nodes.append(Node(tuple(nodes[p] for p in picks), word=k))
+            has_parent.append(False)
+    orphans = [n for n, hp in zip(nodes, has_parent) if not hp]
+    word = num_nodes
+    while len(orphans) > 1:
+        group, orphans = orphans[:max_children], orphans[max_children:]
+        if len(group) == 1:
+            orphans.append(group[0])
+            continue
+        orphans.append(Node(tuple(group), word=word))
+        word += 1
+    return orphans[0]

@@ -1,0 +1,80 @@
+"""Tree workload generators (Table 2 of the paper).
+
+* :func:`perfect_binary_tree` — the TreeFC benchmark input (perfect binary
+  trees of height 7, from Looks et al. 2017).
+* :func:`synthetic_treebank` — stand-in for the Stanford Sentiment Treebank:
+  random binarized parse trees whose sentence-length distribution matches
+  published SST statistics (mean ~19.1 tokens).  A binarized parse of an
+  ``L``-token sentence always has ``L`` leaves and ``L - 1`` internal nodes,
+  so node counts, depths and leaf fractions — the only properties latency
+  depends on (property P.1) — are faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..linearizer.structures import Node, branch, leaf
+from .vocab import DEFAULT_VOCAB_SIZE
+
+#: Published SST sentence-length statistics used by the generator.
+SST_MEAN_LEN = 19.1
+SST_STD_LEN = 9.3
+SST_MIN_LEN = 2
+SST_MAX_LEN = 52
+
+
+def perfect_binary_tree(height: int, vocab_size: int = DEFAULT_VOCAB_SIZE,
+                        rng: np.random.Generator | None = None) -> Node:
+    """A perfect binary tree with ``2**height`` leaves carrying random words."""
+    rng = rng or np.random.default_rng(0)
+    words = rng.integers(0, vocab_size, size=2 ** height)
+
+    def build(lo: int, hi: int) -> Node:
+        if hi - lo == 1:
+            return leaf(int(words[lo]))
+        mid = (lo + hi) // 2
+        return branch(build(lo, mid), build(mid, hi))
+
+    return build(0, 2 ** height)
+
+
+def random_binary_tree(num_leaves: int, vocab_size: int = DEFAULT_VOCAB_SIZE,
+                       rng: np.random.Generator | None = None) -> Node:
+    """A uniformly random binary parse shape over ``num_leaves`` tokens."""
+    rng = rng or np.random.default_rng(0)
+    if num_leaves < 1:
+        raise ValueError("need at least one leaf")
+    words = rng.integers(0, vocab_size, size=num_leaves)
+
+    def build(lo: int, hi: int) -> Node:
+        if hi - lo == 1:
+            return leaf(int(words[lo]))
+        split = int(rng.integers(lo + 1, hi))
+        return branch(build(lo, split), build(split, hi))
+
+    return build(0, num_leaves)
+
+
+def synthetic_treebank(n_sentences: int, vocab_size: int = DEFAULT_VOCAB_SIZE,
+                       rng: np.random.Generator | None = None,
+                       mean_len: float = SST_MEAN_LEN,
+                       std_len: float = SST_STD_LEN) -> List[Node]:
+    """Random binarized parse trees with SST-like length statistics."""
+    rng = rng or np.random.default_rng(0)
+    lengths = np.clip(np.rint(rng.normal(mean_len, std_len, size=n_sentences)),
+                      SST_MIN_LEN, SST_MAX_LEN).astype(int)
+    return [random_binary_tree(int(L), vocab_size, rng) for L in lengths]
+
+
+def left_chain_tree(num_leaves: int, vocab_size: int = DEFAULT_VOCAB_SIZE,
+                    rng: np.random.Generator | None = None) -> Node:
+    """Maximally unbalanced (left-spine) tree — a worst case for batching."""
+    rng = rng or np.random.default_rng(0)
+    words = rng.integers(0, vocab_size, size=num_leaves)
+    node = leaf(int(words[0]))
+    for w in words[1:]:
+        node = branch(node, leaf(int(w)))
+    return node

@@ -1,0 +1,29 @@
+"""Vocabulary helpers for synthetic workloads.
+
+The paper benchmarks inference latency, which depends on structure shapes
+and tensor sizes but not on learned weights, so a synthetic vocabulary of
+the right cardinality is sufficient (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Vocabulary size used across benchmarks; matches the order of magnitude of
+#: the Stanford Sentiment Treebank vocabulary (~21.7k tokens).
+DEFAULT_VOCAB_SIZE = 21_701
+
+
+def random_words(n: int, vocab_size: int = DEFAULT_VOCAB_SIZE,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample ``n`` word ids uniformly from the vocabulary."""
+    rng = rng or np.random.default_rng(0)
+    return rng.integers(0, vocab_size, size=n, dtype=np.int64)
+
+
+def random_embeddings(vocab_size: int, hidden: int,
+                      rng: np.random.Generator | None = None,
+                      scale: float = 0.1) -> np.ndarray:
+    """A random embedding table (float32), scaled to keep tanh unsaturated."""
+    rng = rng or np.random.default_rng(0)
+    return (rng.standard_normal((vocab_size, hidden)) * scale).astype(np.float32)

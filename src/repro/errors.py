@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Cortex reproduction.
+
+Every error raised by this package derives from :class:`CortexError` so
+applications can catch compiler problems without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class CortexError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(CortexError):
+    """Malformed IR: bad operands, dtype mismatches, unknown operators."""
+
+
+class TypeMismatchError(IRError):
+    """An expression combined operands of incompatible dtypes."""
+
+
+class ScheduleError(CortexError):
+    """An illegal scheduling directive (e.g. unrolling a DAG model)."""
+
+
+class LoweringError(CortexError):
+    """RA -> ILIR lowering failed (unsupported construct, missing info)."""
+
+
+class BoundsError(CortexError):
+    """Bounds inference failed or an access was proven out of bounds."""
+
+
+class CodegenError(CortexError):
+    """Code generation encountered an unsupported construct."""
+
+
+class LinearizationError(CortexError):
+    """The data structure linearizer rejected an input structure."""
+
+
+class ExecutionError(CortexError):
+    """Runtime failure while executing a compiled module."""
+
+
+class DeviceError(CortexError):
+    """Unknown device or invalid device parameter."""

@@ -1,0 +1,24 @@
+"""The Irregular Loops IR (ILIR): loop-level representation and passes (§5)."""
+
+from .bounds import (BoundsReport, Facts, default_linearizer_facts,
+                     infer_shape, prove_lt, prove_nonneg, verify_nest)
+from .buffer import ILBuffer, SCOPES
+from .interp import Interpreter, run_stmt
+from .layout import (densify_intermediates, fuse_dims, reorder_dims, split_dim)
+from .module import HostStep, ILModule, Kernel
+from .nests import AxisSpec, OpNest
+from .stmt import (Alloc, Barrier, Block, For, IfThenElse, Let, Stmt, Store,
+                   barriers_in, count_barriers, loops_in, map_stmt, stores_in,
+                   substitute_in_stmt, transform_exprs, walk_stmts)
+from .verify import assert_well_formed, verify_module
+from . import schedule as loop_schedule
+
+__all__ = [
+    "BoundsReport", "Facts", "default_linearizer_facts", "infer_shape",
+    "prove_lt", "prove_nonneg", "verify_nest", "ILBuffer", "SCOPES",
+    "Interpreter", "run_stmt", "densify_intermediates", "fuse_dims",
+    "reorder_dims", "split_dim", "HostStep", "ILModule", "Kernel", "AxisSpec",
+    "OpNest", "Alloc", "Barrier", "Block", "For", "IfThenElse", "Let", "Stmt",
+    "Store", "barriers_in", "count_barriers", "loops_in", "map_stmt",
+    "stores_in", "substitute_in_stmt", "transform_exprs", "walk_stmts",
+]

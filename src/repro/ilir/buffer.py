@@ -1,0 +1,72 @@
+"""ILIR buffers: storage with scope, layout and named dimensions (§5.1).
+
+Buffers are the materialized tensors of the lowered program — recursion
+state (``rnn``), explicit temporaries (``lh``, ``rh``), weights, and the
+linearizer's index arrays.  Each buffer has a *storage scope* mirroring the
+GPU memory hierarchy the paper optimizes for:
+
+``global``    off-chip DRAM (default)
+``shared``    on-chip scratchpad (per-block shared memory)
+``register``  registers (persistent model parameters live here)
+``param``     read-only model parameters in DRAM (weights, embeddings)
+``host``      linearizer outputs resident on the host
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..errors import IRError
+from ..ir import Dim, DType, Expr, as_expr, float32
+from ..utils import product
+
+SCOPES = ("global", "shared", "register", "param", "host")
+
+
+class ILBuffer:
+    """A storage buffer in the lowered program.
+
+    Satisfies the expression-IR buffer protocol, so ``TensorRead`` works on
+    it directly.  ``dims`` optionally names each dimension for bounds
+    inference (Appendix A.2).
+    """
+
+    __slots__ = ("name", "shape", "dtype", "scope", "dims", "dense_indexed")
+
+    def __init__(self, name: str, shape: Sequence, dtype: DType = float32,
+                 scope: str = "global", dims: Optional[Sequence[Dim]] = None):
+        if scope not in SCOPES:
+            raise IRError(f"unknown storage scope {scope!r}")
+        self.name = name
+        self.shape: Tuple[Expr, ...] = tuple(as_expr(s) for s in shape)
+        self.dtype = dtype
+        self.scope = scope
+        self.dims = None if dims is None else tuple(dims)
+        if self.dims is not None and len(self.dims) != len(self.shape):
+            raise IRError(f"{name}: {len(self.dims)} dims for "
+                          f"{len(self.shape)}-d buffer")
+        #: set by the dense-indexing transform (Fig. 5) when this buffer was
+        #: re-indexed by the loop iteration space instead of node ids.
+        self.dense_indexed = False
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def nbytes(self, bindings: dict[str, int]) -> int:
+        """Concrete size in bytes under scalar bindings."""
+        from ..ir import evaluate
+
+        extents = [int(evaluate(s, bindings)) for s in self.shape]
+        return product(extents) * self.dtype.nbytes
+
+    def __getitem__(self, indices):
+        from ..ir import TensorRead
+
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return TensorRead(self, indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = "x".join(str(s) for s in self.shape)
+        return f"ILBuffer({self.name}: {dims} {self.dtype} @{self.scope})"

@@ -1,0 +1,8 @@
+"""Code generation backends: executable Python/NumPy and C-like text."""
+
+from .c_codegen import kernel_to_c, module_to_c
+from .compiled import CompiledModule
+from .python_codegen import PythonCodegen, generate_python
+
+__all__ = ["kernel_to_c", "module_to_c", "CompiledModule", "PythonCodegen",
+           "generate_python"]

@@ -1,0 +1,53 @@
+"""Loop splitting and peeling (Appendix A.5).
+
+The ILIR contains loops with variable bounds (batch sizes).  Splitting such
+a loop by a factor introduces a bound check in the body; peeling ensures the
+check is only paid in the last few iterations: the main chunk runs
+check-free over ``(extent // factor) * factor`` iterations, and a remainder
+loop covers the tail.
+"""
+
+from __future__ import annotations
+
+from ...errors import IRError
+from ...ir import Var, as_expr
+from ..stmt import Block, For, IfThenElse, Stmt, substitute_in_stmt
+
+
+def split_loop(loop: For, factor: int, *, peel: bool = True) -> Stmt:
+    """Split ``loop`` by ``factor``; peel the remainder when requested.
+
+    Without peeling, the split loop guards every iteration of the padded
+    domain with ``var < extent``.  With peeling the main chunk is guard-free
+    and only the remainder loop executes the tail (guard-free too, since its
+    extent is exact) — the transformation the paper applies to keep bound
+    checks out of the hot path.
+    """
+    if factor <= 1:
+        raise IRError("split factor must be > 1")
+    v = loop.var
+    ext = loop.extent
+    outer = Var(f"{v.name}_o")
+    inner = Var(f"{v.name}_i")
+
+    def body_with(var_expr) -> Stmt:
+        return substitute_in_stmt(loop.body, {v.name: as_expr(var_expr)})
+
+    if not peel:
+        padded_outer = (ext + (factor - 1)) // factor
+        fused = outer * factor + inner + loop.begin
+        guarded = IfThenElse(outer * factor + inner < ext, body_with(fused))
+        return For(outer, 0, padded_outer,
+                   For(inner, 0, factor, guarded, kind=loop.kind),
+                   kind=loop.kind, dim=loop.dim)
+
+    main_iters = (ext // factor) * factor
+    main = For(outer, 0, ext // factor,
+               For(inner, 0, factor,
+                   body_with(outer * factor + inner + loop.begin),
+                   kind=loop.kind),
+               kind=loop.kind, dim=loop.dim)
+    tail_var = Var(f"{v.name}_t")
+    tail = For(tail_var, main_iters, ext - main_iters,
+               body_with(tail_var + loop.begin), kind=loop.kind, dim=loop.dim)
+    return Block([main, tail])

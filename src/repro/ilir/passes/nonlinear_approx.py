@@ -1,0 +1,65 @@
+"""Rational approximations of tanh and sigmoid (Appendix A.5).
+
+Cortex replaces ``tanh``/``sigmoid`` with rational approximations to make
+SIMD vectorization easier on CPUs.  We use the classic Pade(3,2)-style
+approximation clipped to the function's range:
+
+    tanh(x) ~= clip(x * (27 + x^2) / (27 + 9 x^2), -1, 1)
+    sigmoid(x) = 0.5 * (1 + tanh(x / 2))
+
+Maximum absolute error is ~2.7e-2 near |x| ~ 3 (verified by tests), which
+is why the pass is opt-in: numeric-equivalence tests against the baselines
+run with exact intrinsics, and CPU benchmark schedules may enable it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import Call, Expr, ExprMutator
+from ..nests import OpNest
+from ...ir import Reduce
+
+_REWRITES = {"tanh": "tanh_rational", "sigmoid": "sigmoid_rational"}
+
+
+class _Approximator(ExprMutator):
+    def visit_call(self, e: Call) -> Expr:
+        out = self.generic_visit(e)
+        if isinstance(out, Call) and out.func in _REWRITES:
+            return Call(_REWRITES[out.func], out.args)
+        return out
+
+
+def apply_rational_approximations(nests) -> int:
+    """Rewrite intrinsics in-place across nests; returns #rewrites applied."""
+    approx = _Approximator()
+    count = 0
+
+    def rewrite(e: Expr) -> Expr:
+        nonlocal count
+        new = approx.visit(e)
+        if new is not e:
+            count += 1
+        return new
+
+    for nest in nests:
+        if isinstance(nest.body, Reduce):
+            nest.body = Reduce(nest.body.op, rewrite(nest.body.body),
+                               nest.body.axes, nest.body.init)
+        else:
+            nest.body = rewrite(nest.body)
+    return count
+
+
+# -- runtime implementations (used by both codegen paths) ---------------------
+
+def tanh_rational(x):
+    x = np.asarray(x)
+    num = x * (27.0 + x * x)
+    den = 27.0 + 9.0 * x * x
+    return np.clip(num / den, -1.0, 1.0)
+
+
+def sigmoid_rational(x):
+    return 0.5 * (1.0 + tanh_rational(np.asarray(x) * 0.5))

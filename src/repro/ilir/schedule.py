@@ -1,0 +1,121 @@
+"""Loop-level scheduling transforms on ILIR statement trees (§5).
+
+"Optimizations such as loop tiling, loop unrolling, vectorization, etc. can
+be performed with the help of scheduling primitives" — this module provides
+them over the statement IR:
+
+* :func:`split`   — one loop into (outer, inner) with optional peeling
+  (re-exported from the peeling pass);
+* :func:`tile`    — 2-D tiling of two perfectly nested loops;
+* :func:`reorder` — interchange two perfectly nested loops;
+* :func:`unroll`  — fully unroll a constant-extent loop into straight-line
+  statements;
+* :func:`vectorize` / :func:`parallelize` — annotate a loop's kind (the
+  code generators map annotations to SIMD/thread axes).
+
+All transforms are semantics-preserving (verified against the interpreter
+in the tests) and reject illegal inputs loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ScheduleError
+from ..ir import Const, Var, as_expr
+from .passes.loop_peeling import split_loop as split
+from .stmt import Block, For, Stmt, map_stmt, substitute_in_stmt
+
+
+def _replace_loop(root: Stmt, target: For, replacement: Stmt) -> Stmt:
+    # map_stmt rebuilds nodes bottom-up, so identity comparison with the
+    # original loop object fails; match on the loop signature instead.
+    found = [False]
+
+    def matches(s: Stmt) -> bool:
+        return (isinstance(s, For) and not found[0]
+                and s.var.name == target.var.name
+                and s.begin.key() == target.begin.key()
+                and s.extent.key() == target.extent.key())
+
+    def fn(s: Stmt) -> Optional[Stmt]:
+        if matches(s):
+            found[0] = True
+            return replacement
+        return None
+
+    out = map_stmt(root, fn)
+    if not found[0]:
+        raise ScheduleError(f"loop {target.var.name} not found in statement")
+    return out
+
+
+def reorder(root: Stmt, outer: For) -> Stmt:
+    """Interchange ``outer`` with its immediate child loop.
+
+    Legal only for perfectly nested loops (the inner loop is the entire
+    body) whose bounds do not reference the other loop's variable.
+    """
+    inner = outer.body
+    if not isinstance(inner, For):
+        raise ScheduleError("reorder requires perfectly nested loops")
+    from ..ir import free_vars
+
+    if outer.var.name in free_vars(inner.begin) or \
+            outer.var.name in free_vars(inner.extent):
+        raise ScheduleError("inner loop bounds depend on the outer variable")
+    swapped = For(inner.var, inner.begin, inner.extent,
+                  For(outer.var, outer.begin, outer.extent, inner.body,
+                      outer.kind, outer.dim),
+                  inner.kind, inner.dim)
+    return _replace_loop(root, outer, swapped)
+
+
+def tile(root: Stmt, outer: For, factor_outer: int, factor_inner: int) -> Stmt:
+    """Tile two perfectly nested loops by (factor_outer, factor_inner)."""
+    inner = outer.body
+    if not isinstance(inner, For):
+        raise ScheduleError("tile requires perfectly nested loops")
+    inner_split = split(inner, factor_inner, peel=True)
+    outer2 = For(outer.var, outer.begin, outer.extent, inner_split,
+                 outer.kind, outer.dim)
+    tiled = split(outer2, factor_outer, peel=True)
+    return _replace_loop(root, outer, tiled)
+
+
+def unroll(root: Stmt, loop: For, max_iterations: int = 64) -> Stmt:
+    """Fully unroll a constant-extent loop into a statement sequence."""
+    if not isinstance(loop.extent, Const) or not isinstance(loop.begin, Const):
+        raise ScheduleError("can only fully unroll constant-bound loops")
+    n = int(loop.extent.value)
+    b = int(loop.begin.value)
+    if n > max_iterations:
+        raise ScheduleError(
+            f"refusing to unroll {n} iterations (max {max_iterations})")
+    bodies: List[Stmt] = []
+    for i in range(b, b + n):
+        bodies.append(substitute_in_stmt(loop.body,
+                                         {loop.var.name: as_expr(i)}))
+    return _replace_loop(root, loop, Block(bodies))
+
+
+def _annotate(root: Stmt, loop: For, kind: str) -> Stmt:
+    return _replace_loop(root, loop, For(loop.var, loop.begin, loop.extent,
+                                         loop.body, kind, loop.dim))
+
+
+def vectorize(root: Stmt, loop: For) -> Stmt:
+    """Mark a loop for SIMD execution (codegen folds it into array ops)."""
+    return _annotate(root, loop, "vectorize")
+
+
+def parallelize(root: Stmt, loop: For) -> Stmt:
+    """Mark a loop as parallel (independent iterations)."""
+    return _annotate(root, loop, "parallel")
+
+
+def bind_thread(root: Stmt, loop: For, axis: str = "thread") -> Stmt:
+    """Bind a loop to a GPU thread/block axis."""
+    if axis not in ("thread", "block"):
+        raise ScheduleError(f"unknown binding axis {axis!r}")
+    return _annotate(root, loop, axis)

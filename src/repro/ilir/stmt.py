@@ -1,0 +1,210 @@
+"""ILIR statements: the loop-level program representation (§5).
+
+The ILIR is "purely loop-based and data structure agnostic": recursion is
+gone, all structure accesses are uninterpreted-function calls, and loops may
+have *variable bounds* (batch sizes) and *indirect* index expressions.
+
+Statement forms:
+
+* :class:`Block` — sequence.
+* :class:`For` — loop with begin/extent (either may be symbolic or contain
+  UF calls), an annotation kind (serial / parallel / vectorize / unroll),
+  and an optional named dimension.
+* :class:`Let` — scalar binding (``node = batch_begin[b] + n_idx``).
+* :class:`Store` — tensor element write, optionally an accumulation.
+* :class:`IfThenElse` — the conditional operator's lowering (§5.2).
+* :class:`Barrier` — global/block synchronization (Appendix A.4).
+* :class:`Alloc` — scoped buffer allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..errors import IRError
+from ..ir import Dim, Expr, Var, as_expr
+from .buffer import ILBuffer
+
+LOOP_KINDS = ("serial", "parallel", "vectorize", "unroll", "thread", "block")
+
+
+class Stmt:
+    """Base class for ILIR statements."""
+
+    def children(self) -> tuple["Stmt", ...]:
+        return ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        flat: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Block):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        self.stmts = tuple(flat)
+
+    def children(self):
+        return self.stmts
+
+
+class For(Stmt):
+    __slots__ = ("var", "begin", "extent", "body", "kind", "dim")
+
+    def __init__(self, var: Var, begin, extent, body: Stmt,
+                 kind: str = "serial", dim: Optional[Dim] = None):
+        if kind not in LOOP_KINDS:
+            raise IRError(f"unknown loop kind {kind!r}")
+        self.var = var
+        self.begin = as_expr(begin)
+        self.extent = as_expr(extent)
+        self.body = body
+        self.kind = kind
+        self.dim = dim
+
+    def children(self):
+        return (self.body,)
+
+
+class Let(Stmt):
+    __slots__ = ("var", "value", "body")
+
+    def __init__(self, var: Var, value, body: Stmt):
+        self.var = var
+        self.value = as_expr(value)
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+
+class Store(Stmt):
+    """``buffer[indices] = value`` or ``buffer[indices] op= value``."""
+
+    __slots__ = ("buffer", "indices", "value", "reduce_op")
+
+    def __init__(self, buffer: ILBuffer, indices: Sequence, value,
+                 reduce_op: Optional[str] = None):
+        if reduce_op not in (None, "sum", "max", "min"):
+            raise IRError(f"unknown store reduction {reduce_op!r}")
+        self.buffer = buffer
+        self.indices = tuple(as_expr(i) for i in indices)
+        if len(self.indices) != buffer.ndim:
+            raise IRError(f"store to {buffer.name}: {len(self.indices)} indices "
+                          f"for {buffer.ndim}-d buffer")
+        self.value = as_expr(value)
+        self.reduce_op = reduce_op
+
+
+class IfThenElse(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body: Stmt, else_body: Optional[Stmt] = None):
+        self.cond = as_expr(cond)
+        if not self.cond.dtype.is_bool:
+            raise IRError("IfThenElse condition must be boolean")
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def children(self):
+        return (self.then_body,) if self.else_body is None else \
+            (self.then_body, self.else_body)
+
+
+class Barrier(Stmt):
+    """A synchronization point; ``scope`` is "global" or "block"."""
+
+    __slots__ = ("scope",)
+
+    def __init__(self, scope: str = "global"):
+        if scope not in ("global", "block"):
+            raise IRError(f"unknown barrier scope {scope!r}")
+        self.scope = scope
+
+
+class Alloc(Stmt):
+    __slots__ = ("buffer", "body")
+
+    def __init__(self, buffer: ILBuffer, body: Stmt):
+        self.buffer = buffer
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+
+
+def walk_stmts(s: Stmt) -> Iterable[Stmt]:
+    """Pre-order traversal of a statement tree."""
+    yield s
+    for c in s.children():
+        yield from walk_stmts(c)
+
+
+def stores_in(s: Stmt) -> list[Store]:
+    return [x for x in walk_stmts(s) if isinstance(x, Store)]
+
+
+def loops_in(s: Stmt) -> list[For]:
+    return [x for x in walk_stmts(s) if isinstance(x, For)]
+
+
+def barriers_in(s: Stmt) -> list[Barrier]:
+    return [x for x in walk_stmts(s) if isinstance(x, Barrier)]
+
+
+def count_barriers(s: Stmt, scope: str = "global") -> int:
+    return sum(1 for b in barriers_in(s) if b.scope == scope)
+
+
+def transform_exprs(s: Stmt, fn) -> Stmt:
+    """Rebuild a statement tree applying ``fn`` to every embedded expression."""
+    if isinstance(s, Block):
+        return Block([transform_exprs(c, fn) for c in s.stmts])
+    if isinstance(s, For):
+        return For(s.var, fn(s.begin), fn(s.extent),
+                   transform_exprs(s.body, fn), s.kind, s.dim)
+    if isinstance(s, Let):
+        return Let(s.var, fn(s.value), transform_exprs(s.body, fn))
+    if isinstance(s, Store):
+        return Store(s.buffer, [fn(i) for i in s.indices], fn(s.value),
+                     s.reduce_op)
+    if isinstance(s, IfThenElse):
+        return IfThenElse(fn(s.cond), transform_exprs(s.then_body, fn),
+                          None if s.else_body is None
+                          else transform_exprs(s.else_body, fn))
+    if isinstance(s, Alloc):
+        return Alloc(s.buffer, transform_exprs(s.body, fn))
+    return s
+
+
+def substitute_in_stmt(s: Stmt, mapping) -> Stmt:
+    """Substitute variables (by name) in every expression of a statement."""
+    from ..ir import substitute
+
+    return transform_exprs(s, lambda e: substitute(e, mapping))
+
+
+def map_stmt(s: Stmt, fn) -> Stmt:
+    """Bottom-up statement rewrite; ``fn(stmt)`` returns replacement or None."""
+    if isinstance(s, Block):
+        rebuilt: Stmt = Block([map_stmt(c, fn) for c in s.stmts])
+    elif isinstance(s, For):
+        rebuilt = For(s.var, s.begin, s.extent, map_stmt(s.body, fn), s.kind, s.dim)
+    elif isinstance(s, Let):
+        rebuilt = Let(s.var, s.value, map_stmt(s.body, fn))
+    elif isinstance(s, IfThenElse):
+        rebuilt = IfThenElse(s.cond, map_stmt(s.then_body, fn),
+                             None if s.else_body is None else map_stmt(s.else_body, fn))
+    elif isinstance(s, Alloc):
+        rebuilt = Alloc(s.buffer, map_stmt(s.body, fn))
+    else:
+        rebuilt = s
+    out = fn(rebuilt)
+    return rebuilt if out is None else out

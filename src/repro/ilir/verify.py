@@ -1,0 +1,85 @@
+"""ILIR module well-formedness verification.
+
+Run after lowering (and by tests) to catch malformed modules before they
+reach code generation: unknown buffers, arity mismatches, phase/kind
+inconsistencies, missing state buffers, nests whose node axis lacks the
+batch let binding, and stage regressions within a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IRError
+from ..ir import Reduce, TensorRead, reads_of
+from .buffer import ILBuffer
+from .module import ILModule, Kernel
+
+PHASES_FOR_KIND = {
+    "pre": {"pre"},
+    "hoisted": {"hoisted"},
+    "post": {"post"},
+    "leaf": {"leaf"},
+    "level": {"level"},
+    "fused": {"leaf", "level"},
+}
+
+
+def verify_module(module: ILModule) -> List[str]:
+    """Return a list of problems (empty == well-formed)."""
+    problems: List[str] = []
+    seen_kernel_names = set()
+    for kernel in module.kernels:
+        if kernel.name in seen_kernel_names:
+            problems.append(f"duplicate kernel name {kernel.name!r}")
+        seen_kernel_names.add(kernel.name)
+        problems.extend(_verify_kernel(kernel, module))
+
+    for name in module.state_buffers:
+        if name not in module.buffers:
+            problems.append(f"state buffer {name!r} missing from buffer map")
+    for name in module.output_buffers:
+        if name not in module.buffers:
+            problems.append(f"output buffer {name!r} missing from buffer map")
+    return problems
+
+
+def _verify_kernel(kernel: Kernel, module: ILModule) -> List[str]:
+    problems: List[str] = []
+    allowed_phases = PHASES_FOR_KIND.get(kernel.kind, set())
+    last_stage = -1
+    for nest in kernel.nests:
+        where = f"{kernel.name}/{nest.name}"
+        if nest.phase not in allowed_phases:
+            problems.append(
+                f"{where}: phase {nest.phase!r} illegal in a "
+                f"{kernel.kind!r} kernel")
+        if nest.out.name not in module.buffers:
+            problems.append(f"{where}: writes unknown buffer {nest.out.name!r}")
+        if len(nest.out_indices) != nest.out.ndim:
+            problems.append(f"{where}: store arity mismatch")
+        node_ax = nest.node_axis
+        if node_ax is not None and not nest.lets:
+            problems.append(
+                f"{where}: node axis without a node-id let binding")
+        body = nest.body.body if isinstance(nest.body, Reduce) else nest.body
+        for read in reads_of(body):
+            buf = read.buffer
+            if isinstance(buf, ILBuffer) and buf.name not in module.buffers:
+                problems.append(
+                    f"{where}: reads unknown buffer {buf.name!r}")
+            if len(read.indices) != len(buf.shape):
+                problems.append(
+                    f"{where}: read arity mismatch on {buf.name!r}")
+        if kernel.kind == "fused" and nest.phase == "level":
+            if nest.stage < 0:
+                problems.append(f"{where}: negative stage")
+    if kernel.kind == "fused" and kernel.barriers_per_level < 1:
+        problems.append(f"{kernel.name}: fused kernel needs >= 1 barrier/level")
+    return problems
+
+
+def assert_well_formed(module: ILModule) -> None:
+    problems = verify_module(module)
+    if problems:
+        raise IRError("malformed ILIR module:\n  " + "\n  ".join(problems))

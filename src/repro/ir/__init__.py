@@ -1,0 +1,30 @@
+"""Scalar expression IR: the substrate under both the RA and the ILIR."""
+
+from .dtypes import DType, boolean, dtype_of, float32, float64, int32, int64, unify
+from .expr import (ARITH_OPS, BINOPS, CMP_OPS, INTRINSICS, BinOp, Call, Cast,
+                   Const, Expr, Reduce, ReduceAxis, Select, TensorRead, UFCall,
+                   UnaryOp, Var, as_expr, const, exp, is_one, is_zero,
+                   logical_and, logical_or, maximum, minimum, reduce_axis,
+                   reduce_max, reduce_sum, relu, sigmoid, sqrt,
+                   structural_equal, tanh)
+from .functions import UninterpretedFunction, collect_ufs, uf
+from .dims import Dim, DimRegistry, DimRelation
+from .printer import expr_to_str
+from .simplify import (Env, Interval, bound_expr, evaluate, prove,
+                       prove_bound_check_redundant, simplify)
+from .visitors import (ExprMutator, children, contains_reduce, free_vars,
+                       map_expr, reads_of, substitute, substitute_buffers, walk)
+
+__all__ = [
+    "DType", "boolean", "dtype_of", "float32", "float64", "int32", "int64",
+    "unify", "ARITH_OPS", "BINOPS", "CMP_OPS", "INTRINSICS", "BinOp", "Call",
+    "Cast", "Const", "Expr", "Reduce", "ReduceAxis", "Select", "TensorRead",
+    "UFCall", "UnaryOp", "Var", "as_expr", "const", "exp", "is_one", "is_zero",
+    "logical_and", "logical_or", "maximum", "minimum", "reduce_axis",
+    "reduce_max", "reduce_sum", "relu", "sigmoid", "sqrt", "structural_equal",
+    "tanh", "UninterpretedFunction", "collect_ufs", "uf", "Dim", "DimRegistry",
+    "DimRelation", "expr_to_str", "Env", "Interval", "bound_expr", "evaluate",
+    "prove", "prove_bound_check_redundant", "simplify", "ExprMutator",
+    "children", "contains_reduce", "free_vars", "map_expr", "reads_of",
+    "substitute", "substitute_buffers", "walk",
+]

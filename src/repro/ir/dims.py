@@ -1,0 +1,120 @@
+"""Named dimensions (Appendix A.2).
+
+In a classical tensor compiler every tensor dimension corresponds to exactly
+one loop of its producing operator, so bounds inference is a one-to-one
+mapping.  The ILIR breaks that correspondence: the ``d_node`` dimension of
+``rnn`` is traversed by *two* loops (over batches and within a batch) through
+the uninterpreted function ``internal_batches(b, i)``.
+
+Cortex's fix is *named dimensions*: explicit identifiers attached both to
+tensor dimensions and to loops, plus records of how loop dimensions combine
+into tensor index dimensions.  We reproduce that here:
+
+* :class:`Dim` — an identity object naming one semantic dimension.
+* :class:`DimRelation` — "tensor dimension ``target`` is produced by loop
+  dimensions ``sources`` via ``index_expr``" (e.g. ``d_node <- (d_all_batches,
+  d_batch) via internal_batches(b, i)``).
+* :class:`DimRegistry` — per-program table of dims and relations, queried by
+  bounds inference to translate consumer regions into producer loop extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from .expr import Expr, Var
+
+
+class Dim:
+    """A named semantic dimension (``d_node``, ``d_hidden``, ``d_batch``...).
+
+    Dims are compared by identity; the name is for diagnostics and printing.
+    ``kind`` distinguishes dense spatial dims (direct loops) from "fun" dims
+    whose extent is only known through uninterpreted functions.
+    """
+
+    SPATIAL = "spatial"
+    FUN = "fun"
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: str = SPATIAL):
+        if kind not in (self.SPATIAL, self.FUN):
+            raise IRError(f"bad dim kind {kind!r}")
+        self.name = name
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Dim({self.name})"
+
+
+@dataclass(frozen=True)
+class DimRelation:
+    """``target`` (a tensor dim) is computed from loops over ``sources``.
+
+    ``index_expr`` maps the source loop variables (``loop_vars``) to a value
+    in the target dimension; for the paper's running example::
+
+        DimRelation(target=d_node, sources=(d_all_batches, d_batch),
+                    loop_vars=(b, i), index_expr=internal_batches(b, i))
+    """
+
+    target: Dim
+    sources: Tuple[Dim, ...]
+    loop_vars: Tuple[Var, ...]
+    index_expr: Expr
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != len(self.loop_vars):
+            raise IRError("DimRelation: sources and loop_vars must align")
+
+
+class DimRegistry:
+    """Per-program registry of named dimensions and their relations."""
+
+    def __init__(self) -> None:
+        self._dims: Dict[str, Dim] = {}
+        self._relations: list[DimRelation] = []
+
+    # -- dims ---------------------------------------------------------------
+    def dim(self, name: str, kind: str = Dim.SPATIAL) -> Dim:
+        """Get-or-create a dim by name (idempotent)."""
+        existing = self._dims.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise IRError(f"dim {name!r} re-declared with kind {kind!r}")
+            return existing
+        d = Dim(name, kind)
+        self._dims[name] = d
+        return d
+
+    def lookup(self, name: str) -> Optional[Dim]:
+        return self._dims.get(name)
+
+    @property
+    def dims(self) -> Iterable[Dim]:
+        return self._dims.values()
+
+    # -- relations ------------------------------------------------------------
+    def relate(self, target: Dim, sources: Sequence[Dim],
+               loop_vars: Sequence[Var], index_expr: Expr) -> DimRelation:
+        rel = DimRelation(target, tuple(sources), tuple(loop_vars), index_expr)
+        self._relations.append(rel)
+        return rel
+
+    def relations_for(self, target: Dim) -> list[DimRelation]:
+        return [r for r in self._relations if r.target is target]
+
+    def source_dims(self, target: Dim) -> list[Dim]:
+        """Loop dims that produce ``target``; [target] if none registered."""
+        rels = self.relations_for(target)
+        if not rels:
+            return [target]
+        out: list[Dim] = []
+        for r in rels:
+            for s in r.sources:
+                if s not in out:
+                    out.append(s)
+        return out

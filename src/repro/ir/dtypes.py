@@ -1,0 +1,82 @@
+"""Scalar data types used throughout the IRs.
+
+A deliberately small lattice: ``int32`` for all index arithmetic (node ids,
+loop variables, batch offsets), ``float32`` for tensor data, and ``bool`` for
+predicates.  Mirrors the subset of TVM dtypes Cortex exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: canonical name ("int32", "float32", "bool").
+        nbytes: storage size in bytes.
+    """
+
+    name: str
+    nbytes: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_float(self) -> bool:
+        return self.name.startswith("float")
+
+    @property
+    def is_int(self) -> bool:
+        return self.name.startswith("int")
+
+    @property
+    def is_bool(self) -> bool:
+        return self.name == "bool"
+
+    def to_numpy(self) -> np.dtype:
+        return np.dtype({"int32": np.int32, "int64": np.int64,
+                         "float32": np.float32, "float64": np.float64,
+                         "bool": np.bool_}[self.name])
+
+
+int32 = DType("int32", 4)
+int64 = DType("int64", 8)
+float32 = DType("float32", 4)
+float64 = DType("float64", 8)
+boolean = DType("bool", 1)
+
+_BY_NAME = {d.name: d for d in (int32, int64, float32, float64, boolean)}
+
+
+def dtype_of(name: str) -> DType:
+    """Look up a dtype by name; raises for unknown names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise TypeMismatchError(f"unknown dtype {name!r}") from None
+
+
+def unify(a: DType, b: DType, context: str = "") -> DType:
+    """Return the common dtype for a binary arithmetic op.
+
+    There is no implicit int<->float promotion: tensor code in this compiler
+    always computes in float32 while index code stays integral, and silent
+    promotion is a classic source of codegen bugs, so mixing is an error.
+    Mixing int32/int64 widens to int64.
+    """
+    if a == b:
+        return a
+    if a.is_int and b.is_int:
+        return int64 if 8 in (a.nbytes, b.nbytes) else int32
+    if a.is_float and b.is_float:
+        return float64 if 8 in (a.nbytes, b.nbytes) else float32
+    where = f" in {context}" if context else ""
+    raise TypeMismatchError(f"cannot unify dtypes {a} and {b}{where}")

@@ -1,0 +1,79 @@
+"""Uninterpreted functions — the ILIR's handle on indirect memory accesses.
+
+Following the Sparse Polyhedral Framework (Strout et al. 2018), Cortex
+represents data-structure lookups (``left[node]``, ``batch_begin[b]``,
+``internal_batches[b, i]``) as *uninterpreted functions* of loop variables
+(§5.1).  The compiler cannot evaluate them, but it may know facts about
+them — most importantly their **range** — which the prover uses to discharge
+bound checks (Appendix A.1) and the bounds inferrer uses to size tensors.
+
+At runtime each uninterpreted function is *bound* to a concrete integer
+array produced by the data structure linearizer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import IRError
+from .dtypes import DType, int32
+from .expr import Expr, ExprLike, UFCall, as_expr
+
+
+class UninterpretedFunction:
+    """A named, opaque integer function of integer arguments.
+
+    Attributes:
+        name: unique name within a program (also the runtime array name).
+        arity: number of integer arguments.
+        range: optional half-open value range ``[lo, hi)`` as expressions;
+            used by the prover/bounds inferrer.
+        monotonic: optional "inc" / "dec" in the last argument — e.g.
+            ``batch_begin`` is increasing, which lets the prover order nodes.
+        injective: whether distinct argument tuples map to distinct values
+            (true for node-numbering maps; enables no-alias reasoning).
+    """
+
+    __slots__ = ("name", "arity", "dtype", "range", "monotonic", "injective", "doc")
+
+    def __init__(self, name: str, arity: int, *,
+                 dtype: DType = int32,
+                 range: Optional[tuple[ExprLike, ExprLike]] = None,
+                 monotonic: Optional[str] = None,
+                 injective: bool = False,
+                 doc: str = ""):
+        if arity < 1:
+            raise IRError("uninterpreted functions take at least one argument")
+        if monotonic not in (None, "inc", "dec"):
+            raise IRError(f"monotonic must be 'inc'/'dec'/None, got {monotonic!r}")
+        self.name = name
+        self.arity = arity
+        self.dtype = dtype
+        self.range = None if range is None else (as_expr(range[0]), as_expr(range[1]))
+        self.monotonic = monotonic
+        self.injective = injective
+        self.doc = doc
+
+    def __call__(self, *args: ExprLike) -> UFCall:
+        return UFCall(self, args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rng = "" if self.range is None else f" in [{self.range[0]!r},{self.range[1]!r})"
+        return f"UF({self.name}/{self.arity}{rng})"
+
+
+def uf(name: str, arity: int = 1, **kw) -> UninterpretedFunction:
+    """Shorthand constructor used throughout lowering code."""
+    return UninterpretedFunction(name, arity, **kw)
+
+
+def collect_ufs(exprs: Sequence[Expr]) -> list[UninterpretedFunction]:
+    """All distinct uninterpreted functions referenced by ``exprs``."""
+    from .visitors import walk
+
+    seen: dict[str, UninterpretedFunction] = {}
+    for e in exprs:
+        for sub in walk(e):
+            if isinstance(sub, UFCall) and sub.fn.name not in seen:
+                seen[sub.fn.name] = sub.fn
+    return list(seen.values())

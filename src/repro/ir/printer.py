@@ -1,0 +1,60 @@
+"""Human-readable printing of expressions (used by __repr__ and codegen)."""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .expr import (BinOp, Call, Cast, Const, Expr, Reduce, Select, TensorRead,
+                   UFCall, UnaryOp, Var)
+
+_INFIX = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "floordiv": "//",
+    "mod": "%", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "eq": "==", "ne": "!=", "and": "and", "or": "or",
+}
+
+# Larger binds tighter; mirrors Python so printed text round-trips mentally.
+_PREC = {
+    "or": 1, "and": 2,
+    "lt": 3, "le": 3, "gt": 3, "ge": 3, "eq": 3, "ne": 3,
+    "add": 4, "sub": 4,
+    "mul": 5, "div": 5, "floordiv": 5, "mod": 5,
+    "min": 9, "max": 9,
+}
+
+
+def expr_to_str(e: Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, Const):
+        if e.dtype.is_bool:
+            return "True" if e.value else "False"
+        if e.dtype.is_float:
+            return repr(float(e.value))
+        return str(e.value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({expr_to_str(e.a)}, {expr_to_str(e.b)})"
+        prec = _PREC[e.op]
+        a = expr_to_str(e.a, prec)
+        b = expr_to_str(e.b, prec + 1)  # left-assoc
+        s = f"{a} {_INFIX[e.op]} {b}"
+        return f"({s})" if prec < parent_prec else s
+    if isinstance(e, UnaryOp):
+        inner = expr_to_str(e.a, 10)
+        return {"neg": f"-{inner}", "not": f"not {inner}", "abs": f"abs({expr_to_str(e.a)})"}[e.op]
+    if isinstance(e, Cast):
+        return f"{e.dtype.name}({expr_to_str(e.a)})"
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(expr_to_str(a) for a in e.args)})"
+    if isinstance(e, Select):
+        return (f"select({expr_to_str(e.cond)}, {expr_to_str(e.then_)}, "
+                f"{expr_to_str(e.else_)})")
+    if isinstance(e, TensorRead):
+        idx = ", ".join(expr_to_str(i) for i in e.indices)
+        return f"{e.buffer.name}[{idx}]"
+    if isinstance(e, UFCall):
+        return f"{e.fn.name}({', '.join(expr_to_str(a) for a in e.args)})"
+    if isinstance(e, Reduce):
+        axes = ", ".join(f"{a.var.name}<{expr_to_str(a.extent)}" for a in e.axes)
+        return f"{e.op}[{axes}]({expr_to_str(e.body)})"
+    raise IRError(f"cannot print {type(e).__name__}")

@@ -1,0 +1,176 @@
+"""Visitor / mutator infrastructure for the expression IR.
+
+Provides post-order traversal (:func:`walk`), rebuilding mutation
+(:class:`ExprMutator`), variable substitution and free-variable queries —
+the workhorses used by simplification, lowering and scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Mapping, Sequence
+
+from ..errors import IRError
+from .expr import (BinOp, Call, Cast, Const, Expr, Reduce, ReduceAxis, Select,
+                   TensorRead, UFCall, UnaryOp, Var)
+
+
+def children(e: Expr) -> tuple[Expr, ...]:
+    """Direct sub-expressions of ``e`` (not including reduce axis extents)."""
+    if isinstance(e, (Const, Var)):
+        return ()
+    if isinstance(e, BinOp):
+        return (e.a, e.b)
+    if isinstance(e, (UnaryOp, Cast)):
+        return (e.a,)
+    if isinstance(e, Call):
+        return e.args
+    if isinstance(e, Select):
+        return (e.cond, e.then_, e.else_)
+    if isinstance(e, TensorRead):
+        return e.indices
+    if isinstance(e, UFCall):
+        return e.args
+    if isinstance(e, Reduce):
+        return (e.body, e.init) + tuple(a.extent for a in e.axes)
+    raise IRError(f"unknown expression node {type(e).__name__}")
+
+
+def walk(e: Expr) -> Iterator[Expr]:
+    """Post-order traversal of every sub-expression, ``e`` last."""
+    for c in children(e):
+        yield from walk(c)
+    yield e
+
+
+class ExprMutator:
+    """Rebuilds an expression bottom-up; override ``visit_*`` to transform.
+
+    The default implementation reconstructs nodes only when a child changed,
+    preserving sharing for untouched subtrees.
+    """
+
+    def visit(self, e: Expr) -> Expr:
+        # Dispatch on the class and its bases so IR subclasses (e.g. the
+        # RA's NodeVar, a Var) hit the handler for their base node type.
+        for klass in type(e).__mro__:
+            method = getattr(self, f"visit_{klass.__name__.lower()}", None)
+            if method is not None:
+                return method(e)
+        return self.generic_visit(e)
+
+    # -- defaults ------------------------------------------------------------
+    def generic_visit(self, e: Expr) -> Expr:
+        if isinstance(e, (Const, Var)):
+            return e
+        if isinstance(e, BinOp):
+            a, b = self.visit(e.a), self.visit(e.b)
+            return e if (a is e.a and b is e.b) else BinOp(e.op, a, b)
+        if isinstance(e, UnaryOp):
+            a = self.visit(e.a)
+            return e if a is e.a else UnaryOp(e.op, a)
+        if isinstance(e, Cast):
+            a = self.visit(e.a)
+            return e if a is e.a else Cast(a, e.dtype)
+        if isinstance(e, Call):
+            args = tuple(self.visit(a) for a in e.args)
+            return e if all(x is y for x, y in zip(args, e.args)) else Call(e.func, args)
+        if isinstance(e, Select):
+            c, t, f = self.visit(e.cond), self.visit(e.then_), self.visit(e.else_)
+            if c is e.cond and t is e.then_ and f is e.else_:
+                return e
+            return Select(c, t, f)
+        if isinstance(e, TensorRead):
+            idx = tuple(self.visit(i) for i in e.indices)
+            if all(x is y for x, y in zip(idx, e.indices)):
+                return e
+            return TensorRead(e.buffer, idx)
+        if isinstance(e, UFCall):
+            args = tuple(self.visit(a) for a in e.args)
+            return e if all(x is y for x, y in zip(args, e.args)) else UFCall(e.fn, args)
+        if isinstance(e, Reduce):
+            body, init = self.visit(e.body), self.visit(e.init)
+            if body is e.body and init is e.init:
+                return e
+            return Reduce(e.op, body, e.axes, init)
+        raise IRError(f"unknown expression node {type(e).__name__}")
+
+
+class _Substituter(ExprMutator):
+    def __init__(self, mapping: Mapping[str, Expr]):
+        self.mapping = mapping
+
+    def visit_var(self, e: Var) -> Expr:
+        return self.mapping.get(e.name, e)
+
+
+def substitute(e: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace variables by name.  ``mapping`` maps var-name -> expression."""
+    if not mapping:
+        return e
+    return _Substituter(mapping).visit(e)
+
+
+class _BufferSubstituter(ExprMutator):
+    def __init__(self, mapping: Mapping[str, object]):
+        self.mapping = mapping
+
+    def visit_tensorread(self, e: TensorRead) -> Expr:
+        idx = tuple(self.visit(i) for i in e.indices)
+        buf = self.mapping.get(e.buffer.name, e.buffer)
+        if buf is e.buffer and all(x is y for x, y in zip(idx, e.indices)):
+            return e
+        return TensorRead(buf, idx)
+
+
+def substitute_buffers(e: Expr, mapping: Mapping[str, object]) -> Expr:
+    """Redirect tensor reads to different buffers (by producer name)."""
+    if not mapping:
+        return e
+    return _BufferSubstituter(mapping).visit(e)
+
+
+def free_vars(e: Expr) -> dict[str, Var]:
+    """All variables occurring in ``e`` minus reduction-bound ones."""
+    bound: set[str] = set()
+    out: dict[str, Var] = {}
+
+    def go(x: Expr) -> None:
+        if isinstance(x, Var):
+            if x.name not in bound:
+                out.setdefault(x.name, x)
+            return
+        if isinstance(x, Reduce):
+            names = [a.var.name for a in x.axes]
+            for a in x.axes:
+                go(a.extent)
+            bound.update(names)
+            go(x.body)
+            go(x.init)
+            bound.difference_update(names)
+            return
+        for c in children(x):
+            go(c)
+
+    go(e)
+    return out
+
+
+def reads_of(e: Expr) -> list[TensorRead]:
+    """Every TensorRead in ``e`` in post-order."""
+    return [x for x in walk(e) if isinstance(x, TensorRead)]
+
+
+def contains_reduce(e: Expr) -> bool:
+    return any(isinstance(x, Reduce) for x in walk(e))
+
+
+def map_expr(e: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rewrite: ``fn`` returns a replacement or None to keep."""
+
+    class _M(ExprMutator):
+        def visit(self, x: Expr) -> Expr:
+            rebuilt = super().generic_visit(x)
+            out = fn(rebuilt)
+            return rebuilt if out is None else out
+
+    return _M().visit(e)

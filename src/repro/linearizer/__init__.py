@@ -1,0 +1,17 @@
+"""Data structure linearizers: pointer structures -> arrays (§4.2, App. B)."""
+
+from .batches import BatchPlan, plan_batches
+from .linearize import (DagLinearizer, Linearized, Linearizer,
+                        SequenceLinearizer, TreeLinearizer)
+from .numbering import assign_ids, check_numbering
+from .structures import (Node, StructureKind, branch, count_nodes, detect_kind,
+                         iter_nodes, leaf, node_heights, sequence,
+                         tree_from_nested, validate)
+
+__all__ = [
+    "BatchPlan", "plan_batches", "DagLinearizer", "Linearized", "Linearizer",
+    "SequenceLinearizer", "TreeLinearizer", "assign_ids", "check_numbering",
+    "Node", "StructureKind", "branch", "count_nodes", "detect_kind",
+    "iter_nodes", "leaf", "node_heights", "sequence", "tree_from_nested",
+    "validate",
+]

@@ -1,0 +1,75 @@
+"""Batch planning: which nodes execute together (§4.2, dynamic batching).
+
+With dynamic batching enabled the linearizer groups nodes by *height*
+(distance from the farthest leaf): all leaves form the first batch, then all
+height-1 nodes, and so on.  Nodes within a height level never depend on each
+other (an edge implies a height difference), so each batch can execute in
+parallel — this is the on-the-fly batching of Neubig et al. / TensorFlow
+Fold performed entirely before any tensor computation (property P.1).
+
+Without dynamic batching the plan degenerates to the recursion order: one
+node per batch, children before parents (post-order), optionally with all
+leaves hoisted into a single leading batch when the leaf check is
+specialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .structures import Node, iter_nodes, node_heights
+
+
+@dataclass
+class BatchPlan:
+    """Execution-ordered node batches.
+
+    Attributes:
+        batches: node groups in execution order (batch 0 runs first).
+        leaf_batch_count: number of leading batches that contain only
+            leaves (0 when leaves are interleaved with internal nodes).
+    """
+
+    batches: List[List[Node]]
+    leaf_batch_count: int
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+    @property
+    def max_batch_len(self) -> int:
+        return max(len(b) for b in self.batches)
+
+
+def plan_batches(roots: Sequence[Node], *, dynamic_batch: bool,
+                 specialize_leaves: bool) -> BatchPlan:
+    """Compute the execution batches for an input forest/DAG batch."""
+    if dynamic_batch:
+        return _plan_by_height(roots)
+    return _plan_recursion_order(roots, specialize_leaves)
+
+
+def _plan_by_height(roots: Sequence[Node]) -> BatchPlan:
+    heights = node_heights(roots)
+    max_h = max(heights.values())
+    levels: List[List[Node]] = [[] for _ in range(max_h + 1)]
+    for node in iter_nodes(roots):  # deterministic post-order within levels
+        levels[heights[id(node)]].append(node)
+    # Height 0 == all leaves: the leaf batch exists whether or not the leaf
+    # check is specialized; specialization only changes the generated code.
+    return BatchPlan(batches=levels, leaf_batch_count=1)
+
+
+def _plan_recursion_order(roots: Sequence[Node], specialize_leaves: bool) -> BatchPlan:
+    if specialize_leaves:
+        leaves: List[Node] = []
+        internals: List[List[Node]] = []
+        for node in iter_nodes(roots):
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                internals.append([node])
+        return BatchPlan(batches=[leaves] + internals, leaf_batch_count=1)
+    return BatchPlan(batches=[[n] for n in iter_nodes(roots)], leaf_batch_count=0)

@@ -1,0 +1,196 @@
+"""Data structure linearization (§4.2): pointer structures -> flat arrays.
+
+The linearizer is the runtime half of RA lowering: it traverses the input
+linked structure on the host CPU (no tensor computation happens here,
+property P.1) and lays it out as the arrays the generated iterative code
+indexes through uninterpreted functions:
+
+``child_k`` / ``left`` / ``right``   child-id arrays (-1 padded)
+``num_children``                      per-node arity (child-sum models, DAGs)
+``words``                             leaf payload (embedding indices)
+``batch_begin`` / ``batch_length``    execution batches (Appendix B layout)
+``leaf_start``                        the single-comparison leaf check
+
+Linearization wall time is recorded on every call — §7.5 of the paper
+reports it as a fraction of total inference latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import LinearizationError
+from .batches import BatchPlan, plan_batches
+from .numbering import assign_ids, check_numbering
+from .structures import Node, StructureKind, iter_nodes, validate
+
+
+@dataclass
+class Linearized:
+    """The array form of one input batch of recursive structures."""
+
+    kind: StructureKind
+    max_children: int
+    num_nodes: int
+    num_leaves: int
+    child: np.ndarray          # (max_children, N) int32, -1 padded
+    num_children: np.ndarray   # (N,) int32
+    words: np.ndarray          # (N,) int32, -1 where absent
+    batch_begin: np.ndarray    # (num_batches,) int32
+    batch_length: np.ndarray   # (num_batches,) int32
+    leaf_batch_count: int
+    roots: np.ndarray          # (num_roots,) int32
+    order: List[Node]          # node_id -> Node
+    leaf_start: Optional[int]  # ids >= leaf_start are leaves; None if mixed
+    wall_time_s: float = 0.0
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_begin)
+
+    @property
+    def max_batch_len(self) -> int:
+        return int(self.batch_length.max())
+
+    def node_id(self, node: Node) -> int:
+        # order is id -> node; build the reverse lazily only when asked.
+        if not hasattr(self, "_rev"):
+            self._rev = {id(n): i for i, n in enumerate(self.order)}
+        return self._rev[id(node)]
+
+    def uf_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays backing the uninterpreted functions of the generated code."""
+        out: Dict[str, np.ndarray] = {
+            "num_children": self.num_children,
+            "words": self.words,
+            "batch_begin": self.batch_begin,
+            "batch_length": self.batch_length,
+            "roots": self.roots,
+        }
+        names = ["left", "right", "child2", "child3"]
+        for k in range(self.max_children):
+            name = names[k] if k < len(names) else f"child{k}"
+            out[name] = self.child[k]
+        for k in range(self.max_children):
+            out[f"child{k}"] = self.child[k]
+        # 2-D form backing the two-argument uninterpreted function child(k, n)
+        out["child"] = self.child
+        return out
+
+    def scalar_params(self) -> Dict[str, int]:
+        """Scalar bindings consumed by generated kernels."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_leaves": self.num_leaves,
+            "num_batches": self.num_batches,
+            "leaf_start": -1 if self.leaf_start is None else self.leaf_start,
+            "max_batch_len": self.max_batch_len,
+            "leaf_batch_count": self.leaf_batch_count,
+        }
+
+
+class Linearizer:
+    """Generated-per-model data structure linearizer.
+
+    One linearizer instance corresponds to the traversal code Cortex emits
+    during RA lowering for a given model configuration: the structure kind,
+    the declared maximum arity, and whether dynamic batching / leaf
+    specialization were requested (they change what the traversal collects).
+    """
+
+    def __init__(self, kind: StructureKind, max_children: int, *,
+                 dynamic_batch: bool = True, specialize_leaves: bool = True,
+                 validate_inputs: bool = True):
+        if max_children < 1:
+            raise LinearizationError("max_children must be >= 1")
+        self.kind = kind
+        self.max_children = max_children
+        self.dynamic_batch = dynamic_batch
+        self.specialize_leaves = specialize_leaves
+        self.validate_inputs = validate_inputs
+
+    def __call__(self, roots: Sequence[Node] | Node) -> Linearized:
+        if isinstance(roots, Node):
+            roots = [roots]
+        t0 = time.perf_counter()
+        if self.validate_inputs:
+            validate(roots, self.kind, self.max_children)
+        plan = plan_batches(roots, dynamic_batch=self.dynamic_batch,
+                            specialize_leaves=self.specialize_leaves)
+        ids = assign_ids(plan)
+        check_numbering(plan, ids)
+        out = self._build_arrays(roots, plan, ids)
+        out.wall_time_s = time.perf_counter() - t0
+        return out
+
+    # -- internals -------------------------------------------------------------
+    def _build_arrays(self, roots: Sequence[Node], plan: BatchPlan,
+                      ids: Dict[int, int]) -> Linearized:
+        n = plan.num_nodes
+        child = np.full((self.max_children, n), -1, dtype=np.int32)
+        num_children = np.zeros(n, dtype=np.int32)
+        words = np.full(n, -1, dtype=np.int32)
+        order: List[Optional[Node]] = [None] * n
+        num_leaves = 0
+
+        for node in iter_nodes(roots):
+            nid = ids[id(node)]
+            order[nid] = node
+            words[nid] = node.word
+            num_children[nid] = len(node.children)
+            if node.is_leaf:
+                num_leaves += 1
+            for k, c in enumerate(node.children):
+                child[k, nid] = ids[id(c)]
+
+        begins, lengths = [], []
+        for batch in plan.batches:
+            lo = min(ids[id(x)] for x in batch)
+            begins.append(lo)
+            lengths.append(len(batch))
+
+        leaf_ids = np.flatnonzero(num_children == 0)
+        leaf_start: Optional[int] = None
+        if num_leaves and leaf_ids[0] == n - num_leaves and len(leaf_ids) == num_leaves:
+            leaf_start = int(n - num_leaves)
+
+        return Linearized(
+            kind=self.kind,
+            max_children=self.max_children,
+            num_nodes=n,
+            num_leaves=num_leaves,
+            child=child,
+            num_children=num_children,
+            words=words,
+            batch_begin=np.asarray(begins, dtype=np.int32),
+            batch_length=np.asarray(lengths, dtype=np.int32),
+            leaf_batch_count=plan.leaf_batch_count,
+            roots=np.asarray(sorted(ids[id(r)] for r in roots), dtype=np.int32),
+            order=order,  # type: ignore[arg-type]
+            leaf_start=leaf_start,
+        )
+
+
+class TreeLinearizer(Linearizer):
+    """Linearizer specialized for trees (the paper implements one for trees)."""
+
+    def __init__(self, max_children: int = 2, **kw):
+        super().__init__(StructureKind.TREE, max_children, **kw)
+
+
+class DagLinearizer(Linearizer):
+    """Linearizer for DAGs; nodes with multiple parents are visited once."""
+
+    def __init__(self, max_children: int = 4, **kw):
+        super().__init__(StructureKind.DAG, max_children, **kw)
+
+
+class SequenceLinearizer(Linearizer):
+    """Linearizer for (batches of) sequences; `left` is the previous step."""
+
+    def __init__(self, **kw):
+        super().__init__(StructureKind.SEQUENCE, 1, **kw)

@@ -1,0 +1,61 @@
+"""Node numbering scheme (Appendix B).
+
+Nodes in a batch are numbered consecutively and *higher than their parents*:
+
+* batch ``i`` is the id range ``[batch_begin[i], batch_begin[i] +
+  batch_length[i])``, so iterating a batch needs no indirection through a
+  node-list array (``node = batch_begin + idx``);
+* every parent has a smaller id than each of its children;
+* consequently (with height batching) all leaves occupy the *top* id block,
+  so ``isleaf(n)`` is the single comparison ``n >= leaf_start`` instead of a
+  memory load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..errors import LinearizationError
+from .batches import BatchPlan
+from .structures import Node
+
+
+def assign_ids(plan: BatchPlan) -> Dict[int, int]:
+    """Assign integer ids to nodes; returns ``id(node) -> node_id``.
+
+    Batches execute first-to-last but are numbered last-to-first, which gives
+    children (executed earlier) higher ids than their parents (executed
+    later), while keeping each batch contiguous.
+    """
+    ids: Dict[int, int] = {}
+    next_id = 0
+    for batch in reversed(plan.batches):
+        for node in batch:
+            if id(node) in ids:
+                raise LinearizationError("node appears in two batches")
+            ids[id(node)] = next_id
+            next_id += 1
+    return ids
+
+
+def check_numbering(plan: BatchPlan, ids: Dict[int, int]) -> None:
+    """Validate the Appendix-B invariants; raises on violation.
+
+    Checked invariants:
+      1. each batch occupies a consecutive id range;
+      2. every parent id < every child id;
+      3. batches later in execution order have strictly smaller id ranges.
+    """
+    prev_min = None
+    for batch in plan.batches:
+        got = sorted(ids[id(n)] for n in batch)
+        lo, hi = got[0], got[-1]
+        if got != list(range(lo, hi + 1)):
+            raise LinearizationError("batch ids are not consecutive")
+        if prev_min is not None and hi >= prev_min:
+            raise LinearizationError("later batch numbered above earlier batch")
+        prev_min = lo
+        for node in batch:
+            for child in node.children:
+                if ids[id(node)] >= ids[id(child)]:
+                    raise LinearizationError("parent not numbered below child")

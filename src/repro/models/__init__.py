@@ -1,0 +1,7 @@
+"""Model zoo: every model of the paper's evaluation (Table 2 + §7.4)."""
+
+from . import dagrnn, mvrnn, sequential, treefc, treegru, treelstm, treernn
+from .registry import MODELS, PAPER_MODELS, ModelSpec, get_model
+
+__all__ = ["dagrnn", "mvrnn", "sequential", "treefc", "treegru", "treelstm",
+           "treernn", "MODELS", "PAPER_MODELS", "ModelSpec", "get_model"]

@@ -1,0 +1,111 @@
+"""Model registry: uniform access to every model in the zoo.
+
+Benchmarks and tests iterate :data:`MODELS`; each entry knows how to build
+the RA program, generate random parameters, evaluate a recursive NumPy
+reference, and which state buffers hold the outputs.  ``hs``/``hl`` are the
+paper's small/large hidden sizes (Table 2: 256/512, except MV-RNN 64/128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..linearizer import Node, StructureKind
+from ..ra.ops import Program
+from . import dagrnn, mvrnn, sequential, treefc, treegru, treelstm, treernn
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything needed to benchmark one model uniformly."""
+
+    name: str
+    short_name: str
+    build: Callable[..., Program]
+    random_params: Callable[..., Dict[str, np.ndarray]]
+    reference: Callable[..., Dict[int, object]]
+    outputs: Tuple[str, ...]
+    kind: StructureKind
+    hs: int = 256
+    hl: int = 512
+    max_children: int = 2
+    #: reference() returns tuples (h, c)/(h, M) for multi-state models
+    multi_state: bool = False
+
+    def reference_h(self, roots: Sequence[Node],
+                    params: Dict[str, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Reference hidden state per node (first state for multi-state)."""
+        ref = self.reference(roots, params)
+        if self.multi_state:
+            return {k: v[0] for k, v in ref.items()}
+        return ref  # type: ignore[return-value]
+
+
+MODELS: Dict[str, ModelSpec] = {
+    "treefc": ModelSpec(
+        name="TreeFC", short_name="treefc",
+        build=treefc.build, random_params=treefc.random_params,
+        reference=treefc.reference, outputs=("rnn",),
+        kind=StructureKind.TREE),
+    "treernn": ModelSpec(
+        name="TreeRNN", short_name="treernn",
+        build=treernn.build, random_params=treernn.random_params,
+        reference=treernn.reference, outputs=("rnn",),
+        kind=StructureKind.TREE),
+    "treegru": ModelSpec(
+        name="TreeGRU", short_name="treegru",
+        build=treegru.build, random_params=treegru.random_params,
+        reference=treegru.reference, outputs=("rnn",),
+        kind=StructureKind.TREE),
+    "simple_treegru": ModelSpec(
+        name="SimpleTreeGRU", short_name="simple_treegru",
+        build=treegru.build_simple, random_params=treegru.random_params,
+        reference=treegru.reference_simple, outputs=("rnn",),
+        kind=StructureKind.TREE),
+    "treelstm": ModelSpec(
+        name="TreeLSTM", short_name="treelstm",
+        build=treelstm.build, random_params=treelstm.random_params,
+        reference=treelstm.reference, outputs=("rnn_h_ph", "rnn_c_ph"),
+        kind=StructureKind.TREE, multi_state=True),
+    "treelstm_nary": ModelSpec(
+        name="N-ary TreeLSTM", short_name="treelstm_nary",
+        build=treelstm.build_nary, random_params=treelstm.random_params_nary,
+        reference=treelstm.reference_nary, outputs=("rnn_h_ph", "rnn_c_ph"),
+        kind=StructureKind.TREE, multi_state=True),
+    "mvrnn": ModelSpec(
+        name="MV-RNN", short_name="mvrnn",
+        build=mvrnn.build, random_params=mvrnn.random_params,
+        reference=mvrnn.reference, outputs=("rnn_h_ph", "rnn_M_ph"),
+        kind=StructureKind.TREE, hs=64, hl=128, multi_state=True),
+    "dagrnn": ModelSpec(
+        name="DAG-RNN", short_name="dagrnn",
+        build=dagrnn.build, random_params=dagrnn.random_params,
+        reference=dagrnn.reference, outputs=("rnn",),
+        kind=StructureKind.DAG),
+    "seq_lstm": ModelSpec(
+        name="Sequential LSTM", short_name="seq_lstm",
+        build=sequential.build_lstm,
+        random_params=sequential.random_params_lstm,
+        reference=sequential.reference_lstm,
+        outputs=("rnn_h_ph", "rnn_c_ph"),
+        kind=StructureKind.SEQUENCE, max_children=1, multi_state=True),
+    "seq_gru": ModelSpec(
+        name="Sequential GRU", short_name="seq_gru",
+        build=sequential.build_gru,
+        random_params=sequential.random_params_gru,
+        reference=sequential.reference_gru, outputs=("rnn",),
+        kind=StructureKind.SEQUENCE, max_children=1),
+}
+
+#: the five models of the paper's main evaluation (Table 2 order)
+PAPER_MODELS: List[str] = ["treefc", "dagrnn", "treegru", "treelstm", "mvrnn"]
+
+
+def get_model(name: str) -> ModelSpec:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}")

@@ -1,0 +1,81 @@
+"""TreeFC — the benchmarking model of Looks et al. 2017 (Table 2).
+
+One fully-connected layer per node over the concatenated children states:
+``h(n) = relu(W . [h(l); h(r)] + b)``, expressed as two half-matvecs (the
+concat is folded into the weight split, keeping every operator a clean
+reduction).  Leaves read the embedding table.  Evaluated on perfect binary
+trees of height 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..ir import relu
+from ..linearizer import Node, StructureKind
+from ..ra.ops import Program
+from ..ra.node_ref import isleaf
+from ..ra.tensor import NUM_NODES
+from .cells import matvec, random_matrix, random_vector
+
+DEFAULT_HIDDEN = 256
+
+
+def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
+    with Program("treefc", StructureKind.TREE, 2) as p:
+        Emb = p.input_tensor((vocab, hidden), "Emb")
+        Wl = p.input_tensor((hidden, hidden), "Wl")
+        Wr = p.input_tensor((hidden, hidden), "Wr")
+        b = p.input_tensor((hidden,), "b")
+        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+
+        leaf_h = p.compute((NUM_NODES, hidden),
+                           lambda n, i: Emb[n.word, i], "leaf_h")
+        lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
+        rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
+        ml = matvec(p, Wl, lh, "ml")
+        mr = matvec(p, Wr, rh, "mr")
+        rec_h = p.compute((NUM_NODES, hidden),
+                          lambda n, i: relu(ml[n, i] + mr[n, i] + b[i]),
+                          "rec_h")
+        body = p.if_then_else((NUM_NODES, hidden),
+                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+        p.recursion_op(ph, body, "rnn")
+    return p
+
+
+def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
+                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
+    rng = rng or np.random.default_rng(0)
+    return {
+        "Emb": random_matrix(rng, vocab, hidden, scale=0.5),
+        "Wl": random_matrix(rng, hidden, hidden),
+        "Wr": random_matrix(rng, hidden, hidden),
+        "b": random_vector(rng, hidden),
+    }
+
+
+def reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
+              ) -> Dict[int, np.ndarray]:
+    emb, wl, wr, b = params["Emb"], params["Wl"], params["Wr"], params["b"]
+    out: Dict[int, np.ndarray] = {}
+
+    def go(node: Node) -> np.ndarray:
+        if id(node) in out:
+            return out[id(node)]
+        if node.is_leaf:
+            h = emb[node.word].astype(np.float32)
+        else:
+            z = wl @ go(node.left) + wr @ go(node.right) + b
+            h = np.maximum(z, 0).astype(np.float32)
+        out[id(node)] = h
+        return h
+
+    for r in roots:
+        go(r)
+    return out
+
+
+OUTPUT = "rnn"

@@ -1,0 +1,125 @@
+"""Child-sum TreeGRU and SimpleTreeGRU (Table 2, §7.4).
+
+Child-sum GRU over a node's children::
+
+    h_sum = sum_k h(child k)
+    z = sigmoid(Uz . h_sum + bz)
+    r = sigmoid(Ur . h_sum + br)
+    h' = tanh(Uh . (r * h_sum) + bh)
+    h  = z * h_sum + (1 - z) * h'        # TreeGRU
+    h  = (1 - z) * h'                    # SimpleTreeGRU (footnote 4)
+
+The only difference — whether the h-gate re-reads the children state — is
+exactly what gates the benefit of recursive refactoring in Fig. 10c: the
+``z * h_sum`` term forces the final combine to consume placeholder data, so
+the moved reduction cannot drop a barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..ir import sigmoid, tanh
+from ..linearizer import Node, StructureKind
+from ..ra.ops import Program
+from ..ra.node_ref import isleaf
+from ..ra.tensor import NUM_NODES
+from .cells import child_sum, matvec, np_sigmoid, random_matrix, random_vector
+
+DEFAULT_HIDDEN = 256
+
+
+def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000, *,
+          simple: bool = False) -> Program:
+    name = "simple_treegru" if simple else "treegru"
+    with Program(name, StructureKind.TREE, 2) as p:
+        Emb = p.input_tensor((vocab, hidden), "Emb")
+        Uz = p.input_tensor((hidden, hidden), "Uz")
+        Ur = p.input_tensor((hidden, hidden), "Ur")
+        Uh = p.input_tensor((hidden, hidden), "Uh")
+        bz = p.input_tensor((hidden,), "bz")
+        br = p.input_tensor((hidden,), "br")
+        bh = p.input_tensor((hidden,), "bh")
+        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+
+        leaf_h = p.compute((NUM_NODES, hidden),
+                           lambda n, i: Emb[n.word, i], "leaf_h")
+        h_sum = child_sum(p, ph, "h_sum", hidden)
+        mz = matvec(p, Uz, h_sum, "mz")
+        mr = matvec(p, Ur, h_sum, "mr")
+        z = p.compute((NUM_NODES, hidden),
+                      lambda n, i: sigmoid(mz[n, i] + bz[i]), "z")
+        r = p.compute((NUM_NODES, hidden),
+                      lambda n, i: sigmoid(mr[n, i] + br[i]), "r")
+        rh_in = p.compute((NUM_NODES, hidden),
+                          lambda n, i: r[n, i] * h_sum[n, i], "rh_in")
+        mh = matvec(p, Uh, rh_in, "mh")
+        hprime = p.compute((NUM_NODES, hidden),
+                           lambda n, i: tanh(mh[n, i] + bh[i]), "hprime")
+        if simple:
+            rec_h = p.compute(
+                (NUM_NODES, hidden),
+                lambda n, i: (1.0 - z[n, i]) * hprime[n, i], "rec_h")
+        else:
+            rec_h = p.compute(
+                (NUM_NODES, hidden),
+                lambda n, i: z[n, i] * h_sum[n, i]
+                + (1.0 - z[n, i]) * hprime[n, i], "rec_h")
+        body = p.if_then_else((NUM_NODES, hidden),
+                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+        p.recursion_op(ph, body, "rnn")
+    return p
+
+
+def build_simple(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
+    return build(hidden, vocab, simple=True)
+
+
+def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
+                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
+    rng = rng or np.random.default_rng(0)
+    return {
+        "Emb": random_matrix(rng, vocab, hidden, scale=0.5),
+        "Uz": random_matrix(rng, hidden, hidden),
+        "Ur": random_matrix(rng, hidden, hidden),
+        "Uh": random_matrix(rng, hidden, hidden),
+        "bz": random_vector(rng, hidden),
+        "br": random_vector(rng, hidden),
+        "bh": random_vector(rng, hidden),
+    }
+
+
+def reference(roots: Sequence[Node], params: Dict[str, np.ndarray], *,
+              simple: bool = False) -> Dict[int, np.ndarray]:
+    out: Dict[int, np.ndarray] = {}
+    emb = params["Emb"]
+
+    def go(node: Node) -> np.ndarray:
+        if id(node) in out:
+            return out[id(node)]
+        if node.is_leaf:
+            h = emb[node.word].astype(np.float32)
+        else:
+            h_sum = np.sum([go(c) for c in node.children], axis=0)
+            z = np_sigmoid(params["Uz"] @ h_sum + params["bz"])
+            r = np_sigmoid(params["Ur"] @ h_sum + params["br"])
+            hp = np.tanh(params["Uh"] @ (r * h_sum) + params["bh"])
+            if simple:
+                h = ((1.0 - z) * hp).astype(np.float32)
+            else:
+                h = (z * h_sum + (1.0 - z) * hp).astype(np.float32)
+        out[id(node)] = h
+        return h
+
+    for r in roots:
+        go(r)
+    return out
+
+
+def reference_simple(roots, params):
+    return reference(roots, params, simple=True)
+
+
+OUTPUT = "rnn"

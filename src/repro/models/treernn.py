@@ -1,0 +1,68 @@
+"""TreeRNN — the paper's running example (Fig. 1, Listing 1).
+
+``h(n) = Emb[word(n)]`` at leaves, ``h(n) = tanh(h(l) + h(r))`` internally.
+Used in §7.4 to evaluate unrolling with one-node-per-thread-block
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..ir import tanh
+from ..linearizer import Node, StructureKind
+from ..ra.ops import Program
+from ..ra.tensor import NUM_NODES
+from ..ra.node_ref import isleaf
+from .cells import random_matrix
+
+DEFAULT_HIDDEN = 256
+
+
+def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
+    with Program("treernn", StructureKind.TREE, 2) as p:
+        Emb = p.input_tensor((vocab, hidden), "Emb")
+        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+        leaf_h = p.compute((NUM_NODES, hidden),
+                           lambda n, i: Emb[n.word, i], "leaf_h")
+        lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
+        rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
+        rec_h = p.compute((NUM_NODES, hidden),
+                          lambda n, i: tanh(lh[n, i] + rh[n, i]), "rec_h")
+        body = p.if_then_else((NUM_NODES, hidden),
+                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+        p.recursion_op(ph, body, "rnn")
+    return p
+
+
+def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
+                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
+    rng = rng or np.random.default_rng(0)
+    return {"Emb": random_matrix(rng, vocab, hidden, scale=0.5)}
+
+
+def reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
+              ) -> Dict[int, np.ndarray]:
+    """Recursive NumPy evaluation; returns ``id(node) -> h``."""
+    emb = params["Emb"]
+    out: Dict[int, np.ndarray] = {}
+
+    def go(node: Node) -> np.ndarray:
+        if id(node) in out:
+            return out[id(node)]
+        if node.is_leaf:
+            h = emb[node.word].astype(np.float32)
+        else:
+            h = np.tanh(go(node.left) + go(node.right)).astype(np.float32)
+        out[id(node)] = h
+        return h
+
+    for r in roots:
+        go(r)
+    return out
+
+
+#: output state buffer name (recursion output of ``h_ph``)
+OUTPUT = "rnn"

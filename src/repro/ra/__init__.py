@@ -1,0 +1,25 @@
+"""The Recursive API (RA): express recursive models as tensor programs (§3)."""
+
+from .analysis import (barriers_per_level, combine_reads_placeholder,
+                       partition, reduction_depth, refactor_barrier_saving,
+                       toposort)
+from .lowering import Lowered, lower
+from .node_ref import NodeVar, StructureAccess, isleaf
+from .ops import (ComputeOp, IfThenElseOp, InputOp, Operation, PlaceholderOp,
+                  Program, RecursionOp, compute, if_then_else, input_tensor,
+                  placeholder, recursion_op)
+from .schedule import (CortexSchedule, dynamic_batch, per_block_schedule,
+                       persist, recursive_refactor, set_fusion,
+                       specialize_if_else, unroll)
+from .tensor import NUM_NODES, VOCAB_SIZE, RATensor
+
+__all__ = [
+    "barriers_per_level", "combine_reads_placeholder", "partition",
+    "reduction_depth", "refactor_barrier_saving", "toposort", "Lowered",
+    "lower", "NodeVar", "StructureAccess", "isleaf", "ComputeOp",
+    "IfThenElseOp", "InputOp", "Operation", "PlaceholderOp", "Program",
+    "RecursionOp", "compute", "if_then_else", "input_tensor", "placeholder",
+    "recursion_op", "CortexSchedule", "dynamic_batch", "per_block_schedule",
+    "persist", "recursive_refactor", "set_fusion", "specialize_if_else",
+    "unroll", "NUM_NODES", "VOCAB_SIZE", "RATensor",
+]

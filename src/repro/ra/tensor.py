@@ -1,0 +1,94 @@
+"""RA tensors: the values flowing through a recursive model graph (§3).
+
+An :class:`RATensor` is either a model input (weights, embedding tables), a
+recursion placeholder (``rnn_ph`` in Listing 1), or the output of an
+operator.  Shapes mix concrete ints with symbolic extents; the distinguished
+symbol :data:`NUM_NODES` ("N" in the paper) marks the node dimension of
+recursive tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..errors import IRError
+from ..ir import DType, Expr, TensorRead, Var, as_expr, float32, int32
+
+#: Symbolic extent for the node dimension ("N: total number of nodes").
+NUM_NODES = Var("num_nodes", int32)
+
+#: Symbolic vocabulary size ("V") and other common symbolic extents.
+VOCAB_SIZE = Var("vocab_size", int32)
+
+ShapeElem = Union[int, Expr]
+
+
+def normalize_shape(shape: Sequence[ShapeElem]) -> tuple[Expr, ...]:
+    out = []
+    for s in shape:
+        e = as_expr(s)
+        if not e.dtype.is_int:
+            raise IRError(f"shape extents must be integral, got {e.dtype}")
+        out.append(e)
+    if not out:
+        raise IRError("zero-dimensional tensors are not supported")
+    return tuple(out)
+
+
+class RATensor:
+    """A tensor value in the Recursive API graph.
+
+    Satisfies the IR buffer protocol (``name``/``shape``/``dtype``), so it
+    can be read inside expressions via ``tensor[i, j]``.
+
+    Attributes:
+        name: unique name within the program.
+        shape: tuple of symbolic/concrete extents.
+        dtype: element type.
+        op: producing :class:`~repro.ra.ops.Operation` (None until attached).
+        role: "input" | "placeholder" | "compute" | "if_then_else" |
+            "recursion" — used by validation and lowering.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "op", "role")
+
+    def __init__(self, name: str, shape: Sequence[ShapeElem],
+                 dtype: DType = float32, role: str = "compute"):
+        self.name = name
+        self.shape = normalize_shape(shape)
+        self.dtype = dtype
+        self.op = None
+        self.role = role
+
+    # -- reading elements in expressions -----------------------------------
+    def __getitem__(self, indices) -> TensorRead:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return TensorRead(self, indices)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def is_recursive(self) -> bool:
+        """True when the leading dimension is the node dimension."""
+        first = self.shape[0]
+        return isinstance(first, Var) and first.name == NUM_NODES.name
+
+    def concrete_shape(self, bindings: dict[str, int]) -> tuple[int, ...]:
+        """Evaluate the shape under scalar bindings (e.g. num_nodes=37)."""
+        from ..ir import evaluate
+
+        out = []
+        for s in self.shape:
+            from ..ir import Const
+            if isinstance(s, Const):
+                out.append(int(s.value))
+            else:
+                out.append(int(evaluate(s, bindings)))
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = "x".join(str(s) for s in self.shape)
+        return f"RATensor({self.name}: {dims} {self.dtype}, {self.role})"

@@ -1,0 +1,16 @@
+"""Runtime: simulated devices, cost model, executor, profiler, memory."""
+
+from .costmodel import CostReport, NestTraffic, estimate_cost, nest_traffic
+from .device import ARM, DEVICES, INTEL, V100, Device, get_device
+from .executor import (ExecutionResult, allocate_workspace, build_scalars,
+                       execute, run_model)
+from .memory import MemoryReport, measure_memory
+from .profiler import ActivityBreakdown, breakdown_from_cost
+
+__all__ = [
+    "CostReport", "NestTraffic", "estimate_cost", "nest_traffic", "ARM",
+    "DEVICES", "INTEL", "V100", "Device", "get_device", "ExecutionResult",
+    "allocate_workspace", "build_scalars", "execute", "run_model",
+    "MemoryReport", "measure_memory", "ActivityBreakdown",
+    "breakdown_from_cost",
+]

@@ -1,0 +1,122 @@
+"""Analytical device models standing in for the paper's testbeds (Table 3).
+
+Each device is described by the handful of first-order parameters that
+determine low-latency inference performance: peak arithmetic throughput,
+DRAM bandwidth, on-chip (scratchpad/register/L2) bandwidth and capacity, and
+the fixed costs the paper's evaluation revolves around — kernel launch
+overhead, global barrier latency, and memcpy call overhead.
+
+Parameter values are set to public figures for the corresponding hardware
+(V100 whitepaper, vendor datasheets) with overheads in the ranges reported
+by the literature the paper cites (Lustig & Martonosi 2013 for launch
+overheads, Xiao & Feng 2010 for software global barriers).  Absolute
+latencies are therefore *approximations*; the evaluation claims we
+reproduce are relative (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class Device:
+    """An analytical device model.
+
+    Attributes:
+        name: display name.
+        kind: "gpu" or "cpu".
+        flops: peak FP32 throughput (FLOP/s).
+        dram_bw: off-chip memory bandwidth (bytes/s).
+        onchip_bw: aggregate on-chip (shared/register/L2) bandwidth (bytes/s).
+        onchip_capacity: usable on-chip bytes for persistent parameters.
+        kernel_launch_s: host-side cost of launching one kernel.
+        min_kernel_s: floor on any single kernel's execution time.
+        global_barrier_s: device-wide barrier latency (lock-based default).
+        lockfree_barrier_s: latency of a lock-free global barrier (GRNN's).
+        memcpy_launch_s: fixed cost of one memcpy call (contiguity copies).
+        saturation_elems: parallel work items needed to reach peak
+            throughput; smaller workloads run at proportionally reduced
+            efficiency (the tail/occupancy effect that dominates
+            low-latency inference on wide devices).
+        host_flops: scalar host CPU throughput (graph construction etc.).
+    """
+
+    name: str
+    kind: str
+    flops: float
+    dram_bw: float
+    onchip_bw: float
+    onchip_capacity: float
+    kernel_launch_s: float
+    min_kernel_s: float
+    global_barrier_s: float
+    lockfree_barrier_s: float
+    memcpy_launch_s: float
+    saturation_elems: float = 1.0
+    #: latency of an uncoalesced indirect-gather chain (scattered children
+    #: loads in tree/DAG levels); contiguous sequence batches don't pay it.
+    gather_latency_s: float = 0.0
+    host_flops: float = 5e9
+
+    def efficiency(self, elems: float) -> float:
+        """Fraction of peak throughput achieved by ``elems`` work items."""
+        if elems <= 0:
+            return 1.0
+        return min(1.0, elems / self.saturation_elems)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise DeviceError(f"unknown device kind {self.kind!r}")
+        for f in ("flops", "dram_bw", "onchip_bw", "onchip_capacity"):
+            if getattr(self, f) <= 0:
+                raise DeviceError(f"device parameter {f} must be positive")
+
+    def with_(self, **kw) -> "Device":
+        return replace(self, **kw)
+
+
+#: Nvidia Tesla V100 (Table 3, "GPU").
+V100 = Device(
+    name="V100", kind="gpu",
+    flops=14e12, dram_bw=900e9,
+    onchip_bw=12e12, onchip_capacity=18e6,   # regs + shared across 80 SMs
+    kernel_launch_s=6e-6, min_kernel_s=1.8e-6,
+    global_barrier_s=2.4e-6, lockfree_barrier_s=1.1e-6,
+    memcpy_launch_s=7e-6, saturation_elems=8e4,
+    gather_latency_s=5e-6,
+)
+
+#: 8-core / 16-thread Intel CascadeLake (Table 3, "Intel").
+INTEL = Device(
+    name="IntelCLX", kind="cpu",
+    flops=1.2e12, dram_bw=85e9,
+    onchip_bw=1.8e12, onchip_capacity=30e6,  # L2 + shared L3
+    kernel_launch_s=4e-7, min_kernel_s=6e-7,
+    global_barrier_s=9e-7, lockfree_barrier_s=6e-7,
+    memcpy_launch_s=4e-7, saturation_elems=4e3,
+    gather_latency_s=2.5e-7,
+)
+
+#: 8-core ARM Graviton2 (Table 3, "ARM").
+ARM = Device(
+    name="Graviton2", kind="cpu",
+    flops=3.2e11, dram_bw=40e9,
+    onchip_bw=8e11, onchip_capacity=20e6,
+    kernel_launch_s=5e-7, min_kernel_s=8e-7,
+    global_barrier_s=1.1e-6, lockfree_barrier_s=7e-7,
+    memcpy_launch_s=5e-7, saturation_elems=2e3,
+    gather_latency_s=3.5e-7,
+)
+
+DEVICES = {"gpu": V100, "intel": INTEL, "arm": ARM}
+
+
+def get_device(name: str) -> Device:
+    try:
+        return DEVICES[name.lower()]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}") from None

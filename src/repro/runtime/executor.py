@@ -1,0 +1,165 @@
+"""Runtime execution of lowered modules over linearized inputs.
+
+The executor is the "host" of Fig. 2: it takes the arrays produced by the
+data structure linearizer, binds them to the module's uninterpreted
+functions, allocates workspace buffers, and launches the compiled kernels
+per the host schedule.  When given a device, every launch/barrier/byte is
+charged to the cost model, producing the simulated latency the benchmark
+harness reports (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ilir.codegen.compiled import CompiledModule
+from ..ilir.module import ILModule, Kernel
+from ..ir import Const, Var, evaluate
+from ..linearizer import Linearized
+from ..ra.lowering import Lowered
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus measured/simulated timing for one inference call."""
+
+    workspace: Dict[str, np.ndarray]
+    lin: Linearized
+    state_buffers: list[str]
+    wall_time_s: float = 0.0
+    simulated_time_s: Optional[float] = None
+    cost: Optional[object] = None  # CostReport when a device was supplied
+
+    def output(self, name: str) -> np.ndarray:
+        """Full per-node output array for a state buffer."""
+        return self.workspace[name]
+
+    def root_output(self, name: str) -> np.ndarray:
+        """Rows of a state buffer at the root nodes (the model results)."""
+        return self.workspace[name][self.lin.roots]
+
+
+def build_scalars(module: ILModule, lin: Linearized) -> Dict[str, int]:
+    c = dict(lin.scalar_params())
+    meta = module.meta
+    c["max_children"] = int(meta.get("max_children", lin.max_children))
+    c["level_start"] = lin.leaf_batch_count if meta.get("specialize") else 0
+    if not meta.get("specialize"):
+        c["leaf_batch_count"] = 0
+    return c
+
+
+def allocate_workspace(module: ILModule, lin: Linearized,
+                       params: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """UF arrays + model parameters + zero-initialized buffers."""
+    ws: Dict[str, np.ndarray] = dict(lin.uf_arrays())
+    bindings = {
+        "num_nodes": lin.num_nodes,
+        "max_batch_len": lin.max_batch_len,
+    }
+    for name, buf in module.buffers.items():
+        if name in params:
+            arr = np.asarray(params[name])
+            expect = _concrete_shape(buf, bindings, params)
+            if expect is not None and tuple(arr.shape) != expect:
+                raise ExecutionError(
+                    f"parameter {name}: shape {arr.shape} != declared {expect}")
+            ws[name] = arr
+            continue
+        if buf.scope in ("param", "register") and not name.endswith("_hoisted"):
+            # model parameters must be supplied; zero-filling them would
+            # silently produce wrong results
+            raise ExecutionError(f"missing model parameter {name!r}")
+        shape = _concrete_shape(buf, bindings, params)
+        if shape is None:
+            raise ExecutionError(f"cannot size buffer {name}")
+        ws[name] = np.zeros(shape, dtype=buf.dtype.to_numpy())
+    return ws
+
+
+def _concrete_shape(buf, bindings, params) -> Optional[tuple[int, ...]]:
+    out = []
+    for s in buf.shape:
+        if isinstance(s, Const):
+            out.append(int(s.value))
+        elif isinstance(s, Var) and s.name in bindings:
+            out.append(int(bindings[s.name]))
+        else:
+            try:
+                out.append(int(evaluate(s, bindings)))
+            except Exception:
+                return None
+    return tuple(out)
+
+
+def execute(lowered: Lowered, compiled: CompiledModule, lin: Linearized,
+            params: Mapping[str, np.ndarray], *,
+            device=None) -> ExecutionResult:
+    """Run the host program; charge costs when ``device`` is given."""
+    module = lowered.module
+    c = build_scalars(module, lin)
+    ws = allocate_workspace(module, lin, params)
+
+    t0 = time.perf_counter()
+    pre_kinds = ("hoisted", "pre")
+    level_kernels: list[Kernel] = []
+    leaf_kernels: list[Kernel] = []
+    for step in module.steps:
+        k = step.kernel
+        if k.kind in pre_kinds or k.kind in ("fused", "post"):
+            continue
+        (leaf_kernels if k.kind == "leaf" else level_kernels).append(k)
+
+    for step in module.steps:
+        k = step.kernel
+        if k.kind in pre_kinds:
+            compiled[k.name](ws, c)
+
+    for k in leaf_kernels:
+        for lb in range(c["leaf_batch_count"]):
+            begin = int(lin.batch_begin[lb])
+            length = int(lin.batch_length[lb])
+            compiled[k.name](ws, c, begin, length)
+
+    if level_kernels:
+        for b in range(c["level_start"], c["num_batches"]):
+            begin = int(lin.batch_begin[b])
+            length = int(lin.batch_length[b])
+            for k in level_kernels:
+                compiled[k.name](ws, c, begin, length)
+
+    for step in module.steps:
+        k = step.kernel
+        if k.kind == "fused":
+            compiled[k.name](ws, c)
+    for step in module.steps:
+        k = step.kernel
+        if k.kind == "post":
+            compiled[k.name](ws, c)
+
+    wall = time.perf_counter() - t0
+
+    result = ExecutionResult(workspace=ws, lin=lin,
+                             state_buffers=list(module.state_buffers),
+                             wall_time_s=wall)
+    if device is not None:
+        from .costmodel import estimate_cost
+
+        report = estimate_cost(module, lin, device)
+        result.cost = report
+        result.simulated_time_s = report.total_time_s
+    return result
+
+
+def run_model(lowered: Lowered, roots, params: Mapping[str, np.ndarray], *,
+              device=None, compiled: Optional[CompiledModule] = None
+              ) -> ExecutionResult:
+    """Convenience wrapper: linearize inputs, then execute."""
+    lin = lowered.linearizer(roots)
+    compiled = compiled or CompiledModule(lowered.module)
+    return execute(lowered, compiled, lin, params, device=device)

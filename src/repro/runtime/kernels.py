@@ -1,0 +1,41 @@
+"""NumPy implementations of the scalar intrinsics used by generated code.
+
+Generated kernels import these by name; the interpreter has matching scalar
+versions, and tests pin the two against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ilir.passes.nonlinear_approx import sigmoid_rational, tanh_rational
+
+__all__ = ["tanh", "sigmoid", "exp", "log", "sqrt", "relu", "erf",
+           "tanh_rational", "sigmoid_rational"]
+
+tanh = np.tanh
+exp = np.exp
+log = np.log
+sqrt = np.sqrt
+
+
+def sigmoid(x):
+    # Numerically stable logistic; matches math.exp-based scalar reference
+    # to float32 precision.
+    x = np.asarray(x)
+    out = np.empty_like(x, dtype=np.result_type(x, np.float32))
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def relu(x):
+    return np.maximum(x, 0)
+
+
+def erf(x):
+    from scipy.special import erf as _erf  # scipy is a declared test dep
+
+    return _erf(x)

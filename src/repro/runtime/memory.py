@@ -1,0 +1,59 @@
+"""Peak device memory accounting (§7.6, Fig. 12).
+
+Cortex's inference-oriented design shows up in memory as well as time: with
+maximal fusion, intermediates live in on-chip scratchpads (dense-indexed per
+Fig. 5) and never occupy DRAM, so peak device memory is parameters + the
+recursion state + the linearizer's index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..ilir.module import ILModule
+from ..linearizer import Linearized
+from .costmodel import _buffer_elems
+
+
+@dataclass
+class MemoryReport:
+    params_bytes: float = 0.0
+    state_bytes: float = 0.0
+    intermediates_bytes: float = 0.0
+    index_arrays_bytes: float = 0.0
+    onchip_bytes: float = 0.0  # not counted toward device DRAM
+
+    @property
+    def peak_bytes(self) -> float:
+        return (self.params_bytes + self.state_bytes
+                + self.intermediates_bytes + self.index_arrays_bytes)
+
+    @property
+    def peak_kb(self) -> float:
+        return self.peak_bytes / 1e3
+
+
+def measure_memory(module: ILModule, lin: Linearized) -> MemoryReport:
+    bindings = {
+        "num_nodes": float(lin.num_nodes),
+        "max_batch_len": float(lin.max_batch_len),
+        "max_children": float(lin.max_children),
+    }
+    rep = MemoryReport()
+    state = set(module.state_buffers)
+    for buf in module.buffers.values():
+        nbytes = _buffer_elems(buf, bindings) * buf.dtype.nbytes
+        if buf.scope in ("shared", "register"):
+            rep.onchip_bytes += nbytes
+        elif buf.name in state:
+            rep.state_bytes += nbytes
+        elif buf.scope == "param":
+            rep.params_bytes += nbytes
+        else:
+            rep.intermediates_bytes += nbytes
+    for arr in lin.uf_arrays().values():
+        rep.index_arrays_bytes += arr.nbytes
+    return rep

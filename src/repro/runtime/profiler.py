@@ -1,0 +1,64 @@
+"""Activity breakdown in the shape of the paper's Table 6.
+
+Both the Cortex runtime (via the cost model) and the baseline frameworks
+(via their own ledgers) report the same activities, so the Table 6 bench
+can print one row per framework:
+
+    dynamic batching / graph construction | memory management (CPU/GPU) |
+    GPU computation time | #kernel calls | CPU "CUDA API" time | exec time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .costmodel import CostReport
+
+
+@dataclass
+class ActivityBreakdown:
+    """Time (seconds) spent per runtime activity, plus event counts."""
+
+    framework: str
+    dynamic_batching_s: float = 0.0
+    graph_construction_s: float = 0.0
+    mem_mgmt_cpu_s: float = 0.0
+    mem_mgmt_gpu_s: float = 0.0
+    gpu_compute_s: float = 0.0
+    kernel_calls: int = 0
+    memcpy_calls: int = 0
+    api_time_s: float = 0.0
+    exec_time_s: float = 0.0
+
+    def row(self) -> Dict[str, object]:
+        ms = 1e3
+        return {
+            "Framework": self.framework,
+            "Dyn. batch (ms)": round(self.dynamic_batching_s * ms, 3),
+            "Graph const. (ms)": round(self.graph_construction_s * ms, 3),
+            "Mem. mgmt CPU (ms)": round(self.mem_mgmt_cpu_s * ms, 3),
+            "Mem. mgmt GPU (ms)": round(self.mem_mgmt_gpu_s * ms, 3),
+            "GPU compute (ms)": round(self.gpu_compute_s * ms, 3),
+            "#Kernel calls": self.kernel_calls,
+            "CPU API time (ms)": round(self.api_time_s * ms, 3),
+            "Exe. time (ms)": round(self.exec_time_s * ms, 3),
+        }
+
+
+def breakdown_from_cost(report: CostReport,
+                        framework: str = "Cortex") -> ActivityBreakdown:
+    """Cortex's Table 6 row: dynamic batching happens at linearization,
+    no graph construction, no contiguity copies."""
+    return ActivityBreakdown(
+        framework=framework,
+        dynamic_batching_s=report.linearization_s,
+        graph_construction_s=0.0,
+        mem_mgmt_cpu_s=0.0,
+        mem_mgmt_gpu_s=0.0,
+        gpu_compute_s=report.exec_s + report.barrier_s,
+        kernel_calls=report.kernel_launches,
+        memcpy_calls=report.memcpy_calls,
+        api_time_s=report.cuda_api_s,
+        exec_time_s=report.total_time_s,
+    )

@@ -1,0 +1,134 @@
+"""Compiled-model artifacts: save and reload without the compiler.
+
+``save_model`` writes everything a serving process needs to *execute* a
+compiled model — the generated Python kernels, the parameters, and a JSON
+manifest describing buffers, kernel launch order and linearizer
+configuration.  ``load_model`` reconstructs a runnable model from that
+directory without invoking the compiler.
+
+Deployed artifacts execute numerics only; simulated-latency estimation
+needs the full compiler session (operator nests are not serialized).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..api import CortexModel
+from ..errors import CortexError
+from ..ilir.buffer import ILBuffer
+from ..ilir.codegen.compiled import CompiledModule
+from ..ilir.module import HostStep, ILModule, Kernel
+from ..ir import Const, DimRegistry, Var, dtype_of
+from ..linearizer import Linearizer, Node, StructureKind
+
+MANIFEST = "manifest.json"
+SOURCE = "module.py"
+C_SOURCE = "module.c"
+PARAMS = "params.npz"
+
+#: symbolic shape extents the executor binds at run time
+_RUNTIME_VARS = {"num_nodes", "max_batch_len"}
+
+
+def _shape_to_json(shape) -> list:
+    out = []
+    for s in shape:
+        if isinstance(s, Const):
+            out.append(int(s.value))
+        elif isinstance(s, Var) and s.name in _RUNTIME_VARS:
+            out.append(s.name)
+        else:
+            raise CortexError(
+                f"cannot serialize shape extent {s!r}; only constants and "
+                f"runtime-bound symbols {_RUNTIME_VARS} are supported")
+    return out
+
+
+def save_model(model: CortexModel, path: Union[str, Path]) -> Path:
+    """Write a deployable artifact directory; returns its path."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    module = model.lowered.module
+    lin = model.lowered.linearizer
+
+    manifest = {
+        "name": module.name,
+        "meta": {k: v for k, v in module.meta.items()
+                 if isinstance(v, (str, int, float, bool, list))},
+        "buffers": [
+            {"name": b.name, "shape": _shape_to_json(b.shape),
+             "dtype": b.dtype.name, "scope": b.scope}
+            for b in module.buffers.values()],
+        "kernels": [{"name": k.name, "kind": k.kind}
+                    for k in module.kernels],
+        "state_buffers": list(module.state_buffers),
+        "output_buffers": list(module.output_buffers),
+        "linearizer": {
+            "kind": lin.kind.value,
+            "max_children": lin.max_children,
+            "dynamic_batch": lin.dynamic_batch,
+            "specialize_leaves": lin.specialize_leaves,
+        },
+    }
+    (path / MANIFEST).write_text(json.dumps(manifest, indent=2))
+    (path / SOURCE).write_text(module.python_source or "")
+    (path / C_SOURCE).write_text(module.c_source or "")
+    np.savez(path / PARAMS, **model.params)
+    return path
+
+
+class DeployedModel:
+    """A reloaded artifact: executable, but without the cost model."""
+
+    def __init__(self, module: ILModule, linearizer: Linearizer,
+                 params: Dict[str, np.ndarray]):
+        self.module = module
+        self.linearizer = linearizer
+        self.params = params
+        self.compiled = CompiledModule(module)
+
+    def run(self, roots: Union[Node, Sequence[Node]]):
+        from ..ra.lowering import Lowered
+        from ..runtime.executor import execute
+
+        if isinstance(roots, Node):
+            roots = [roots]
+        lin = self.linearizer(roots)
+        lowered = Lowered(module=self.module, linearizer=self.linearizer)
+        return execute(lowered, self.compiled, lin, self.params)
+
+
+def load_model(path: Union[str, Path]) -> DeployedModel:
+    """Reconstruct a runnable model from an artifact directory."""
+    path = Path(path)
+    manifest = json.loads((path / MANIFEST).read_text())
+
+    buffers = {}
+    for spec in manifest["buffers"]:
+        shape = tuple(Var(s) if isinstance(s, str) else int(s)
+                      for s in spec["shape"])
+        buffers[spec["name"]] = ILBuffer(spec["name"], shape,
+                                         dtype_of(spec["dtype"]),
+                                         scope=spec["scope"])
+    steps = [HostStep(Kernel(k["name"], k["kind"], []))
+             for k in manifest["kernels"]]
+    module = ILModule(name=manifest["name"], steps=steps, buffers=buffers,
+                      dims=DimRegistry(),
+                      state_buffers=manifest["state_buffers"],
+                      output_buffers=manifest["output_buffers"],
+                      meta=dict(manifest["meta"]))
+    module.python_source = (path / SOURCE).read_text()
+    module.c_source = (path / C_SOURCE).read_text()
+
+    lcfg = manifest["linearizer"]
+    linearizer = Linearizer(StructureKind(lcfg["kind"]),
+                            lcfg["max_children"],
+                            dynamic_batch=lcfg["dynamic_batch"],
+                            specialize_leaves=lcfg["specialize_leaves"])
+    params = dict(np.load(path / PARAMS))
+    return DeployedModel(module, linearizer, params)

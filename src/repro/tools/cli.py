@@ -1,0 +1,183 @@
+"""Command-line interface for the Cortex reproduction.
+
+Usage examples::
+
+    python -m repro.tools.cli compile treelstm --hidden 256 --show-c
+    python -m repro.tools.cli run treegru --batch 10 --device gpu
+    python -m repro.tools.cli compare treelstm --batch 10 --device gpu
+    python -m repro.tools.cli tune simple_treegru --device gpu
+    python -m repro.tools.cli models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ..api import compile_model
+from ..baselines import cavs_like, dynet_like, pytorch_like
+from ..bench.harness import BENCH_VOCAB, format_table, paper_inputs
+from ..models import MODELS, get_model
+from ..runtime import breakdown_from_cost, get_device
+from ..tune import grid_search
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("--hidden", type=int, default=None,
+                   help="hidden size (default: the model's hs)")
+    p.add_argument("--batch", type=int, default=10)
+    p.add_argument("--device", default="gpu", choices=["gpu", "intel", "arm"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cortex (MLSys 2021) reproduction CLI")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("models", help="list the model zoo")
+
+    p = sub.add_parser("compile", help="compile a model and inspect it")
+    _add_common(p)
+    p.add_argument("--show-c", action="store_true",
+                   help="print the C-like rendering of the kernels")
+    p.add_argument("--show-python", action="store_true",
+                   help="print the generated Python source")
+    p.add_argument("--report", action="store_true",
+                   help="print kernel structure + memory placement (Fig. 8)")
+    p.add_argument("--no-specialize", action="store_true")
+    p.add_argument("--fusion", default="max", choices=["max", "none"])
+
+    p = sub.add_parser("run", help="run a model and report simulated latency")
+    _add_common(p)
+
+    p = sub.add_parser("compare", help="compare against all baselines")
+    _add_common(p)
+
+    p = sub.add_parser("tune", help="grid-search the schedule space")
+    _add_common(p)
+
+    p = sub.add_parser("export", help="save a deployable compiled artifact")
+    _add_common(p)
+    p.add_argument("--out", required=True, help="output directory")
+    return parser
+
+
+def cmd_models() -> int:
+    rows = []
+    for name, spec in sorted(MODELS.items()):
+        rows.append([name, spec.name, spec.kind.value, spec.hs, spec.hl,
+                     len(spec.outputs)])
+    print(format_table(["key", "model", "structure", "hs", "hl", "#states"],
+                       rows, title="model zoo"))
+    return 0
+
+
+def _compile(args, **extra):
+    spec = get_model(args.model)
+    hidden = args.hidden or spec.hs
+    if args.model == "dagrnn":
+        return compile_model(args.model, hidden=hidden, **extra), hidden
+    return compile_model(args.model, hidden=hidden, vocab=BENCH_VOCAB,
+                         **extra), hidden
+
+
+def cmd_compile(args) -> int:
+    model, hidden = _compile(args, specialize=not args.no_specialize,
+                             fusion=args.fusion,
+                             persistence=args.fusion == "max")
+    mod = model.lowered.module
+    print(f"compiled {args.model} (hidden={hidden})")
+    print(f"  kernels: {[(k.name, k.kind) for k in mod.kernels]}")
+    print(f"  barriers/level: {mod.meta['barriers_per_level']}")
+    checks = sum(r.checked for r in model.lowered.bounds.values())
+    gone = sum(r.eliminated for r in model.lowered.bounds.values())
+    print(f"  bound checks eliminated: {gone}/{checks}")
+    if mod.meta["zero_folded"]:
+        print(f"  zero-folded leaf tensors: {mod.meta['zero_folded']}")
+    if args.report:
+        from ..analysis import compilation_report
+
+        print("\n" + compilation_report(mod))
+    if args.show_python:
+        print("\n" + (mod.python_source or ""))
+    if args.show_c:
+        print("\n" + (mod.c_source or ""))
+    return 0
+
+
+def cmd_run(args) -> int:
+    model, hidden = _compile(args)
+    device = get_device(args.device)
+    roots = paper_inputs(args.model, args.batch)
+    res = model.run(roots, device=device)
+    print(f"{args.model} hidden={hidden} batch={args.batch} "
+          f"on {device.name}:")
+    print(f"  simulated latency: {res.simulated_time_s * 1e3:.4f} ms")
+    bd = breakdown_from_cost(res.cost)
+    for k, v in bd.row().items():
+        print(f"  {k}: {v}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    model, hidden = _compile(args)
+    device = get_device(args.device)
+    roots = paper_inputs(args.model, args.batch)
+    res = model.run(roots, device=device)
+    rows = [["Cortex", round(res.simulated_time_s * 1e3, 4), 1.0]]
+    for label, runner in (("PyTorch-like", pytorch_like.run),
+                          ("DyNet-like", dynet_like.run),
+                          ("Cavs-like", cavs_like.run)):
+        b = runner(args.model, model.params, roots, device)
+        rows.append([label, round(b.latency_s * 1e3, 4),
+                     round(b.latency_s / res.simulated_time_s, 2)])
+    print(format_table(["framework", "latency (ms)", "vs Cortex"], rows,
+                       title=f"{args.model} hidden={hidden} "
+                             f"batch={args.batch} on {device.name}"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    spec = get_model(args.model)
+    hidden = args.hidden or spec.hs
+    device = get_device(args.device)
+    roots = paper_inputs(args.model, args.batch)
+    result = grid_search(args.model, hidden, roots, device,
+                         vocab=BENCH_VOCAB)
+    print(result.summary(top=8))
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .artifact import save_model
+
+    model, hidden = _compile(args)
+    out = save_model(model, args.out)
+    print(f"saved {args.model} (hidden={hidden}) to {out}")
+    print("reload with: repro.tools.artifact.load_model(path).run(trees)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.cmd == "models":
+        return cmd_models()
+    if args.cmd == "compile":
+        return cmd_compile(args)
+    if args.cmd == "run":
+        return cmd_run(args)
+    if args.cmd == "compare":
+        return cmd_compare(args)
+    if args.cmd == "tune":
+        return cmd_tune(args)
+    if args.cmd == "export":
+        return cmd_export(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Schedule auto-tuning (the paper's grid search, §6)."""
+
+from .autotuner import DEFAULT_SPACE, Trial, TuningResult, grid_search
+
+__all__ = ["DEFAULT_SPACE", "Trial", "TuningResult", "grid_search"]

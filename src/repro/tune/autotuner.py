@@ -1,0 +1,117 @@
+"""Schedule auto-tuning via grid search (§6).
+
+The paper's prototype does not auto-schedule the generated ILIR; instead it
+sweeps a space of schedule parameters by grid search and keeps the best.
+This module reproduces that workflow over the recursion scheduling
+primitives: every legal combination of fusion level, specialization,
+persistence, refactoring and unrolling is compiled, run on a sample input,
+and ranked by simulated latency.
+
+Illegal points are skipped silently (e.g. unrolling a DAG model), so the
+search space adapts to the structure kind exactly as the scheduling layer
+enforces (§3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api import compile_model
+from ..errors import CortexError, ScheduleError
+from ..linearizer import Node
+from ..models.registry import get_model
+from ..runtime.device import Device
+
+#: the default grid: every recursion-scheduling knob of §3.1
+DEFAULT_SPACE: Dict[str, Sequence] = {
+    "fusion": ("none", "max"),
+    "specialize": (False, True),
+    "persistence": (False, True),
+    "refactor": (False, True),
+    "unroll": (False, True),
+    "per_block": (False, True),
+}
+
+
+@dataclass
+class Trial:
+    config: Dict[str, object]
+    latency_ms: Optional[float]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.latency_ms is not None
+
+
+@dataclass
+class TuningResult:
+    model: str
+    hidden: int
+    device: str
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def valid(self) -> List[Trial]:
+        return [t for t in self.trials if t.ok]
+
+    @property
+    def best(self) -> Trial:
+        if not self.valid:
+            raise CortexError("no legal schedule point succeeded")
+        return min(self.valid, key=lambda t: t.latency_ms)
+
+    @property
+    def worst(self) -> Trial:
+        return max(self.valid, key=lambda t: t.latency_ms)
+
+    def summary(self, top: int = 5) -> str:
+        lines = [f"grid search: {self.model} hidden={self.hidden} "
+                 f"on {self.device} — {len(self.valid)}/{len(self.trials)} "
+                 f"legal points"]
+        for t in sorted(self.valid, key=lambda t: t.latency_ms)[:top]:
+            on = [k for k, v in t.config.items() if v and v != "none"]
+            lines.append(f"  {t.latency_ms:8.4f} ms  {on or ['(baseline)']}")
+        return "\n".join(lines)
+
+
+def grid_search(model_name: str, hidden: int, roots: Sequence[Node],
+                device: Device, *, vocab: int = 1000,
+                space: Optional[Dict[str, Sequence]] = None,
+                **build_kw) -> TuningResult:
+    """Exhaustive sweep of the schedule grid; ranks by simulated latency."""
+    spec = get_model(model_name)
+    space = dict(space or DEFAULT_SPACE)
+    result = TuningResult(model=model_name, hidden=hidden, device=device.name)
+    keys = list(space)
+    for values in itertools.product(*(space[k] for k in keys)):
+        config = dict(zip(keys, values))
+        if _obviously_redundant(config):
+            continue
+        try:
+            kw = dict(config)
+            if model_name == "dagrnn":
+                model = compile_model(model_name, hidden=hidden,
+                                      **kw, **build_kw)
+            else:
+                model = compile_model(model_name, hidden=hidden, vocab=vocab,
+                                      **kw, **build_kw)
+            res = model.run(roots, device=device)
+            result.trials.append(Trial(config, res.simulated_time_s * 1e3))
+        except ScheduleError as e:
+            result.trials.append(Trial(config, None, error=str(e)))
+    return result
+
+
+def _obviously_redundant(config: Dict[str, object]) -> bool:
+    """Prune points that are equivalent to another grid point."""
+    if config.get("persistence") and config.get("fusion") == "none":
+        return True  # persistence requires fusion; compile would just demote
+    if config.get("per_block") and not config.get("unroll"):
+        # per-block scheduling only changes the model via unrolling here
+        return False
+    return False

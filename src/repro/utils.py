@@ -1,0 +1,69 @@
+"""Small shared helpers: unique naming, iteration utilities."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import Counter
+from typing import Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+_IDENT_RE = re.compile(r"[^0-9a-zA-Z_]+")
+
+
+class NameSupply:
+    """Produces unique, deterministic identifiers.
+
+    A fresh supply is created per compilation so generated names are stable
+    across runs (important for snapshot tests on generated code).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def fresh(self, hint: str = "v") -> str:
+        base = sanitize_identifier(hint) or "v"
+        n = self._counts[base]
+        self._counts[base] += 1
+        return base if n == 0 else f"{base}_{n}"
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn an arbitrary string into a valid Python/C identifier."""
+    out = _IDENT_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def pairwise(it: Iterable[T]) -> Iterator[tuple[T, T]]:
+    a, b = itertools.tee(it)
+    next(b, None)
+    return zip(a, b)
+
+
+def unique_in_order(items: Iterable[T]) -> list[T]:
+    """Deduplicate while preserving first-seen order (hashable items)."""
+    seen: set[T] = set()
+    out: list[T] = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out
+
+
+def indent_lines(text: str, levels: int = 1, width: int = 4) -> str:
+    pad = " " * (levels * width)
+    return "\n".join(pad + line if line else line for line in text.splitlines())
+
+
+def product(values: Iterable[int]) -> int:
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out

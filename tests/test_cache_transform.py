@@ -1,0 +1,120 @@
+"""Tests for the Appendix A.3 cache transform (multi-access indirect reads)."""
+
+import numpy as np
+import pytest
+
+from repro.ilir import AxisSpec, ILBuffer, OpNest, run_stmt
+from repro.ilir.layout import cache_indirect_reads
+from repro.ir import TensorRead, Var, float32, tanh, uf
+
+
+def _treernn_like_nest():
+    """A nest reading rnn through BOTH left[] and right[] (no lh/rh temps)."""
+    N, H = 8, 4
+    rnn = ILBuffer("rnn", (N, H), float32)
+    left = uf("left", 1, range=(0, N))
+    right = uf("right", 1, range=(0, N))
+    bb = uf("batch_begin", 1, range=(0, N))
+    bl = uf("batch_length", 1, range=(1, N + 1))
+    n_idx, i, b = Var("n_idx"), Var("i"), Var("b_idx")
+    node = Var("node")
+    body = tanh(TensorRead(rnn, [left(node), i])
+                + TensorRead(rnn, [right(node), i]))
+    nest = OpNest(
+        name="rec_h", out=rnn,
+        axes=[AxisSpec(n_idx, bl(b), kind="node"),
+              AxisSpec(i, 4, kind="spatial")],
+        out_indices=[node, i], body=body,
+        lets=[(node, bb(b) + n_idx)], reads=[rnn])
+    return rnn, nest
+
+
+def _run_nests(nests, ws, scalars):
+    for nest in nests:
+        it = run_stmt(nest.to_stmt(), ws, scalars)
+    return ws
+
+
+def _workspace(N=8, H=4):
+    rng = np.random.default_rng(0)
+    return {
+        "rnn": rng.standard_normal((N, H)).astype(np.float32),
+        "left": np.array([1, 2, 3, 4, 5, 6, 7, 0], np.int32),
+        "right": np.array([2, 3, 4, 5, 6, 7, 0, 1], np.int32),
+        "batch_begin": np.array([0], np.int32),
+        "batch_length": np.array([3], np.int32),
+    }
+
+
+def test_cache_transform_structure():
+    rnn, nest = _treernn_like_nest()
+    out = cache_indirect_reads(nest, rnn, max_batch_len=8)
+    assert out is not None and len(out) == 3  # two fills + the consumer
+    fill0, fill1, consumer = out
+    cache = fill0.out
+    assert cache.name == "rnn_cache"
+    assert cache.scope == "shared" and cache.dense_indexed
+    # the extra trailing dimension holds one slot per access expression
+    assert int(cache.shape[-1].value) == 2
+    # the consumer's reads are now affine (indexed by the loop space)
+    from repro.ir import UFCall, reads_of
+
+    for r in reads_of(consumer.body):
+        assert r.buffer.name == "rnn_cache"
+        assert not isinstance(r.indices[0], UFCall)
+
+
+def test_cache_transform_preserves_semantics():
+    rnn, nest = _treernn_like_nest()
+    scalars = {"b_idx": 0}
+
+    ws_ref = _workspace()
+    run_stmt(nest.to_stmt(), ws_ref, scalars)
+
+    out = cache_indirect_reads(nest, rnn, max_batch_len=8)
+    ws_new = _workspace()
+    ws_new["rnn_cache"] = np.zeros((8, 4, 2), np.float32)
+    _run_nests(out, ws_new, scalars)
+
+    np.testing.assert_allclose(ws_new["rnn"], ws_ref["rnn"], atol=1e-6)
+
+
+def test_cache_transform_requires_two_accesses():
+    N, H = 4, 2
+    rnn = ILBuffer("rnn", (N, H), float32)
+    left = uf("left", 1, range=(0, N))
+    bb = uf("batch_begin", 1, range=(0, N))
+    bl = uf("batch_length", 1, range=(1, N + 1))
+    n_idx, i, b = Var("n_idx"), Var("i"), Var("b_idx")
+    node = Var("node")
+    nest = OpNest(
+        name="one", out=rnn,
+        axes=[AxisSpec(n_idx, bl(b), kind="node"),
+              AxisSpec(i, H, kind="spatial")],
+        out_indices=[node, i],
+        body=TensorRead(rnn, [left(node), i]),
+        lets=[(node, bb(b) + n_idx)])
+    assert cache_indirect_reads(nest, rnn, max_batch_len=4) is None
+
+
+def test_cache_transform_skips_reductions():
+    from repro.ir import reduce_axis, reduce_sum
+
+    N, H = 4, 2
+    rnn = ILBuffer("rnn", (N, H), float32)
+    W = ILBuffer("W", (H, H), float32)
+    left = uf("left", 1, range=(0, N))
+    bb = uf("batch_begin", 1, range=(0, N))
+    bl = uf("batch_length", 1, range=(1, N + 1))
+    n_idx, i, b = Var("n_idx"), Var("i"), Var("b_idx")
+    node = Var("node")
+    k = reduce_axis(H, "k")
+    body = reduce_sum(TensorRead(W, [i, k.var])
+                      * TensorRead(rnn, [left(node), k.var]), k)
+    nest = OpNest(
+        name="mv", out=rnn,
+        axes=[AxisSpec(n_idx, bl(b), kind="node"),
+              AxisSpec(i, H, kind="spatial")],
+        out_indices=[node, i], body=body,
+        lets=[(node, bb(b) + n_idx)])
+    assert cache_indirect_reads(nest, rnn, max_batch_len=4) is None

@@ -1,0 +1,135 @@
+"""Tests for both code generators: source structure and compilation."""
+
+import numpy as np
+import pytest
+
+from repro import compile_model
+from repro.errors import CodegenError
+from repro.ilir.codegen.c_codegen import expr_to_c, kernel_to_c, stmt_to_c
+from repro.ilir.codegen.compiled import CompiledModule
+from repro.ilir import Barrier, For, ILBuffer, Let, Store
+from repro.ir import Const, Select, TensorRead, Var, float32, int32, tanh, uf
+
+VOCAB = 50
+
+
+def _module(name="treefc", **kw):
+    return compile_model(name, hidden=8, vocab=VOCAB, **kw).lowered.module
+
+
+# -- python codegen -----------------------------------------------------------
+
+def test_generated_source_has_one_function_per_kernel():
+    mod = _module()
+    for k in mod.kernels:
+        assert f"def k_{k.name}(" in mod.python_source
+
+
+def test_matvec_generates_einsum():
+    mod = _module()
+    assert "np.einsum" in mod.python_source
+
+
+def test_childsum_generates_masked_loop():
+    mod = _module("treelstm")
+    src = mod.python_source
+    assert "range(c['max_children'])" in src
+    assert "np.where" in src
+
+
+def test_contiguous_stores_become_slices():
+    mod = _module("treernn")
+    # state writes use slice assignment thanks to the App.-B numbering
+    assert "ws['rnn'][(begin):(begin) + (length)" in mod.python_source
+
+
+def test_fused_kernel_contains_level_loop():
+    mod = _module()
+    assert "for _b in range(c['level_start'], c['num_batches'])" \
+        in mod.python_source
+
+
+def test_persistence_note_in_c_source():
+    mod = _module()
+    assert "persistent kernel" in mod.c_source
+    assert "global barrier" in mod.c_source
+
+
+def test_compiled_module_requires_source():
+    mod = _module()
+    src = mod.python_source
+    mod.python_source = None
+    with pytest.raises(CodegenError):
+        CompiledModule(mod)
+    mod.python_source = src
+    cm = CompiledModule(mod)
+    assert callable(cm["fused"])
+
+
+def test_generated_source_is_deterministic():
+    a = _module("treegru").python_source
+    b = _module("treegru").python_source
+    assert a == b
+
+
+def test_rational_approx_appears_when_requested():
+    m = compile_model("treernn", hidden=8, vocab=VOCAB, rational_approx=True)
+    assert "_tanh_rational" in m.python_source
+    m2 = compile_model("treernn", hidden=8, vocab=VOCAB)
+    assert "_tanh_rational(" not in m2.python_source.replace(
+        "tanh_rational as _tanh_rational", "")
+
+
+# -- C-like codegen ------------------------------------------------------------
+
+def test_expr_to_c_operators():
+    x = Var("x")
+    assert expr_to_c(x + 1) == "(x + 1)"
+    assert expr_to_c(x // 2) == "(x / 2)"
+    assert expr_to_c(Select(x < 3, x, 3)) == "((x < 3) ? x : 3)"
+    assert expr_to_c(tanh(Var("h", float32))) == "tanhf(h)"
+
+
+def test_expr_to_c_uf_and_isleaf():
+    left = uf("left", 1)
+    n = Var("n")
+    assert expr_to_c(left(n)) == "left[n]"
+    from repro.ra.node_ref import StructureAccess
+
+    acc = StructureAccess()
+    assert expr_to_c(acc.isleaf(n)) == "(n >= leaf_start)"
+
+
+def test_stmt_to_c_loop_and_store():
+    buf = ILBuffer("t", (4,), int32)
+    i = Var("i")
+    lines = stmt_to_c(For(i, 0, 4, Store(buf, [i], i * 2)))
+    assert lines[0].startswith("for (int i = 0;")
+    assert any("t[(i * 2)]" in l or "t[i] = (i * 2);" in l for l in lines)
+
+
+def test_stmt_to_c_barrier_scopes():
+    assert stmt_to_c(Barrier("global")) == ["global_barrier();"]
+    assert stmt_to_c(Barrier("block")) == ["__syncthreads();"]
+
+
+def test_stmt_to_c_reduce_store():
+    buf = ILBuffer("acc", (1,), float32)
+    s = Store(buf, [0], Const(1.0, float32), reduce_op="sum")
+    assert stmt_to_c(s) == ["acc[0] += 1.0f;"]
+    smax = Store(buf, [0], Const(1.0, float32), reduce_op="max")
+    assert "max(" in stmt_to_c(smax)[0]
+
+
+def test_c_module_lists_buffers_and_scopes():
+    mod = _module()
+    assert "// buffer Wl:" in mod.c_source
+    assert "@register" in mod.c_source  # persisted weights
+    assert "@shared" in mod.c_source    # densified intermediates
+
+
+def test_let_renders_as_int_binding():
+    buf = ILBuffer("t", (4,), int32)
+    i, n = Var("i"), Var("n")
+    lines = stmt_to_c(Let(n, i + 1, Store(buf, [n], n)))
+    assert lines[0] == "int n = (i + 1);"

@@ -1,0 +1,184 @@
+"""Unit tests for the scalar expression IR."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir import (BinOp, Call, Cast, Const, Reduce, Select, TensorRead,
+                      UFCall, UnaryOp, Var, as_expr, boolean, expr_to_str,
+                      float32, free_vars, int32, reduce_axis, reduce_sum,
+                      structural_equal, substitute, tanh, uf, walk)
+
+
+class FakeBuffer:
+    def __init__(self, name, shape, dtype=float32):
+        self.name, self.shape, self.dtype = name, shape, dtype
+
+
+def test_var_requires_name():
+    with pytest.raises(IRError):
+        Var("")
+
+
+def test_operator_overloads_build_binops():
+    x = Var("x")
+    e = (x + 1) * 2 - x
+    assert isinstance(e, BinOp)
+    assert e.op == "sub"
+    assert expr_to_str(e) == "(x + 1) * 2 - x"
+
+
+def test_reverse_operators():
+    x = Var("x")
+    assert expr_to_str(1 + x) == "1 + x"
+    assert expr_to_str(10 - x) == "10 - x"
+    assert expr_to_str(3 * x) == "3 * x"
+
+
+def test_comparison_dtype_is_bool():
+    x = Var("x")
+    assert (x < 3).dtype is boolean
+    assert x.equal(3).dtype is boolean
+
+
+def test_python_bool_conversion_raises():
+    x = Var("x")
+    with pytest.raises(IRError):
+        bool(x < 3)
+
+
+def test_int_float_mixing_rejected():
+    x = Var("x", int32)
+    y = Var("y", float32)
+    with pytest.raises(TypeMismatchError):
+        BinOp("add", x, y)
+
+
+def test_int_constant_adapts_to_float_context():
+    y = Var("y", float32)
+    e = y + 1
+    assert e.b.dtype is float32
+
+
+def test_floordiv_requires_ints():
+    y = Var("y", float32)
+    with pytest.raises(TypeMismatchError):
+        y // 2
+
+
+def test_logical_ops_require_bool():
+    x = Var("x")
+    with pytest.raises(TypeMismatchError):
+        (x < 1) & x  # right operand is int
+
+
+def test_select_condition_must_be_bool():
+    x = Var("x")
+    with pytest.raises(TypeMismatchError):
+        Select(x, 1, 2)
+
+
+def test_select_builds_and_prints():
+    x = Var("x")
+    s = Select(x < 4, x, 4)
+    assert expr_to_str(s) == "select(x < 4, x, 4)"
+
+
+def test_tensor_read_arity_check():
+    buf = FakeBuffer("t", (4, 5))
+    x = Var("x")
+    with pytest.raises(IRError):
+        TensorRead(buf, [x])
+    r = TensorRead(buf, [x, x + 1])
+    assert r.dtype is float32
+
+
+def test_tensor_read_index_must_be_int():
+    buf = FakeBuffer("t", (4,))
+    with pytest.raises(TypeMismatchError):
+        TensorRead(buf, [Var("f", float32)])
+
+
+def test_ufcall_arity_and_dtype():
+    left = uf("left", 1, range=(0, 100))
+    n = Var("n")
+    call = left(n)
+    assert isinstance(call, UFCall)
+    assert call.dtype is int32
+    with pytest.raises(IRError):
+        left(n, n)
+
+
+def test_structural_equality_and_keys():
+    x, y = Var("x"), Var("x")
+    assert structural_equal(x + 1, y + 1)
+    assert (x + 1).key() == (y + 1).key()
+    assert not structural_equal(x + 1, x + 2)
+
+
+def test_hash_consistent_with_key():
+    x = Var("x")
+    assert hash(x + 1) == hash(Var("x") + 1)
+
+
+def test_substitute_by_name():
+    x, n = Var("x"), Var("n")
+    e = substitute(x + 1, {"x": n * 2})
+    assert expr_to_str(e) == "n * 2 + 1"
+
+
+def test_substitute_does_not_touch_other_vars():
+    x, y = Var("x"), Var("y")
+    e = substitute(x + y, {"z": x})
+    assert structural_equal(e, x + y)
+
+
+def test_free_vars_excludes_reduce_axes():
+    k = reduce_axis(16, "k")
+    buf = FakeBuffer("w", (16,))
+    body = reduce_sum(TensorRead(buf, [k.var]), k)
+    fv = free_vars(body)
+    assert "k" not in fv
+
+
+def test_free_vars_includes_extent_vars():
+    n = Var("n")
+    k = reduce_axis(n, "k")
+    buf = FakeBuffer("w", (16,))
+    body = reduce_sum(TensorRead(buf, [k.var]), k)
+    assert "n" in free_vars(body)
+
+
+def test_walk_postorder_ends_with_root():
+    x = Var("x")
+    e = x + 1
+    nodes = list(walk(e))
+    assert nodes[-1] is e
+    assert len(nodes) == 3
+
+
+def test_call_intrinsic_and_unknown():
+    assert tanh(Var("h", float32)).func == "tanh"
+    with pytest.raises(IRError):
+        Call("frobnicate", [Var("h", float32)])
+
+
+def test_cast_changes_dtype():
+    x = Var("x", int32)
+    c = Cast(x, float32)
+    assert c.dtype is float32
+
+
+def test_reduce_requires_axis():
+    with pytest.raises(IRError):
+        Reduce("sum", as_expr(1.0), [])
+
+
+def test_unary_not_requires_bool():
+    with pytest.raises(TypeMismatchError):
+        UnaryOp("not", Var("x"))
+
+
+def test_const_normalizes_value_types():
+    assert isinstance(Const(3.7, int32).value, int)
+    assert isinstance(Const(3, float32).value, float)
+    assert Const(2, boolean).value is True

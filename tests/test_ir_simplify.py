@@ -1,0 +1,177 @@
+"""Tests for the simplifier and the interval prover (Z3 stand-in)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (Const, Interval, Select, Var, bound_expr, evaluate,
+                      expr_to_str, float32, int32, maximum, minimum, prove,
+                      prove_bound_check_redundant, simplify, tanh, uf)
+from repro.errors import IRError
+
+
+def s(e, env=None):
+    return expr_to_str(simplify(e, env))
+
+
+# -- algebraic rules ---------------------------------------------------------
+
+def test_constant_folding():
+    x = Var("x")
+    assert s((x + 0) * 1) == "x"
+    assert s(Const(2, int32) + 3) == "5"
+    assert s(Const(2, int32) * 3 - 1) == "5"
+
+
+def test_add_zero_mul_one_identities():
+    x = Var("x")
+    assert s(0 + x) == "x"
+    assert s(x * 0) == "0"
+    assert s(x - x) == "0"
+    assert s(x // 1) == "x"
+    assert s(x % 1) == "0"
+
+
+def test_reassociate_constants():
+    x = Var("x")
+    assert s((x + 2) + 3) == "x + 5"
+
+
+def test_mul_floordiv_cancellation():
+    x = Var("x")
+    assert s((x * 4) // 4) == "x"
+
+
+def test_select_folding():
+    x = Var("x")
+    # same-branch collapse (x and x+0 simplify to the same expr)
+    assert s(Select(Var("c") < Var("d"), x, x + 0)) == "x"
+    # constant-condition collapse
+    assert s(Select(Const(1, int32) < 2, x, x * 5)) == "x"
+
+
+def test_reflexive_comparisons_on_ints():
+    x = Var("x")
+    assert s(x <= x) == "True"
+    assert s(x < x) == "False"
+    assert s(x.equal(x)) == "True"
+
+
+def test_double_negation():
+    c = Var("x") < 3
+    assert s(~~c) == "x < 3"
+
+
+def test_min_max_with_intervals():
+    x = Var("x")
+    env = {"x": Interval(0, 10)}
+    assert s(minimum(x, 100), env) == "x"
+    assert s(maximum(x, 100), env) == "100"
+
+
+def test_tanh_constant_folds():
+    e = simplify(tanh(Const(0.0, float32)))
+    assert isinstance(e, Const) and e.value == 0.0
+
+
+def test_logic_short_circuit():
+    p = Var("x") < 3
+    assert s(p & (Const(1, int32) < 2)) == "x < 3"
+    assert s(p | (Const(1, int32) < 2)) == "True"
+
+
+# -- intervals ----------------------------------------------------------------
+
+def test_interval_arithmetic():
+    a, b = Interval(0, 4), Interval(2, 3)
+    assert (a + b) == Interval(2, 7)
+    assert (a - b) == Interval(-3, 2)
+    assert (a * b) == Interval(0, 12)
+    assert a.floordiv(b) == Interval(0, 2)
+
+
+def test_interval_mod_positive_divisor():
+    assert Interval(0, 100).mod(Interval(8, 8)) == Interval(0, 7)
+    assert Interval(0, 3).mod(Interval(8, 8)) == Interval(0, 3)
+
+
+def test_interval_empty_rejected():
+    with pytest.raises(IRError):
+        Interval(3, 2)
+
+
+def test_bound_expr_with_env():
+    i = Var("i")
+    env = {"i": Interval(0, 7)}
+    assert bound_expr(i * 2 + 1, env) == Interval(1, 15)
+
+
+def test_bound_expr_uf_range():
+    nodes = uf("node_id", 1, range=(0, 64))
+    i = Var("i")
+    iv = bound_expr(nodes(i), {})
+    assert iv == Interval(0, 63)
+
+
+def test_bound_expr_call_ranges():
+    h = Var("h", float32)
+    assert bound_expr(tanh(h)) == Interval(-1.0, 1.0)
+
+
+# -- prover ------------------------------------------------------------------
+
+def test_prove_decides_simple_facts():
+    i = Var("i")
+    env = {"i": Interval(0, 9)}
+    assert prove(i < 10, env) is True
+    assert prove(i < 5, env) is None
+    assert prove(i < 0, env) is False
+
+
+def test_prove_bound_check_redundant_via_uf():
+    batches = uf("batches", 2, range=(0, 128))
+    b, i = Var("b"), Var("i")
+    idx = batches(b, i)
+    assert prove_bound_check_redundant(idx, Const(128, int32))
+    assert not prove_bound_check_redundant(idx, Const(100, int32))
+
+
+def test_prove_unknown_for_free_var():
+    assert prove(Var("x") < 3) is None
+
+
+# -- property-based soundness -------------------------------------------------
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Random integer expressions over vars a, b plus their bindings."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return Const(draw(st.integers(-20, 20)), int32)
+        name = draw(st.sampled_from(["a", "b"]))
+        return Var(name, int32)
+    op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+    from repro.ir import BinOp
+
+    x = draw(int_exprs(depth=depth + 1))
+    y = draw(int_exprs(depth=depth + 1))
+    return BinOp(op, x, y)
+
+
+@given(e=int_exprs(), a=st.integers(-5, 5), b=st.integers(-5, 5))
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(e, a, b):
+    bindings = {"a": a, "b": b}
+    assert evaluate(e, bindings) == evaluate(simplify(e), bindings)
+
+
+@given(e=int_exprs(), a=st.integers(-5, 5), b=st.integers(-5, 5))
+@settings(max_examples=200, deadline=None)
+def test_bound_expr_is_sound(e, a, b):
+    env = {"a": Interval(-5, 5), "b": Interval(-5, 5)}
+    iv = bound_expr(e, env)
+    val = evaluate(e, {"a": a, "b": b})
+    assert iv.contains(val)
