@@ -1,0 +1,96 @@
+"""Per-call host-overhead fast path: plan + arena vs. the seed slow path.
+
+§7.5 of the paper decomposes inference latency into kernel time vs.
+linearization and host overheads and argues the overheads must stay small
+for small-batch inference to win (Fig. 7).  This benchmark tracks the
+*measured* (not simulated) per-call wall time of repeated inference for
+TreeLSTM and DAG-RNN at batch sizes 1/10/64 under:
+
+* ``seed`` — the original path: per-call input validation, fresh
+  zero-filled workspace, host structure re-derived every call;
+* ``fast`` — the compiled host plan + workspace arena
+  (``model.run(reuse=True, validate=False)``);
+* ``run_many`` — the streaming API amortizing across a batch stream.
+
+Results are persisted to ``BENCH_overhead.json`` at the repo root so the
+perf trajectory is tracked across PRs.  The acceptance gate of the plan
+subsystem is the ``treelstm`` batch-size-1 row: fast must be >= 2x seed
+throughput with bit-identical outputs (asserted in
+``tests/test_plan_and_arena.py``).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.bench import (cortex_percall_wall_s, format_table,
+                         record_bench_json)
+from pathlib import Path
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_overhead.json"
+
+#: small/medium hidden size: the regime where host overheads dominate
+#: (Fig. 7's flat region) and the paper's low-overhead claim is made
+HIDDEN = 64
+BATCH_SIZES = (1, 10, 64)
+MODELS = ("treelstm", "dagrnn")
+MODES = ("seed", "fast", "run_many")
+
+
+def _budget(model_name: str, batch_size: int) -> dict:
+    # keep the big configurations affordable: fewer, larger timed blocks
+    if model_name == "dagrnn" or batch_size >= 64:
+        return dict(repeats=15, warmup=2, inner=2)
+    return dict(repeats=40, warmup=5, inner=5)
+
+
+def _run():
+    rows = []
+    results = {}
+    for model_name in MODELS:
+        for bs in BATCH_SIZES:
+            per = {}
+            for mode in MODES:
+                per[mode] = cortex_percall_wall_s(
+                    model_name, HIDDEN, bs, mode=mode,
+                    **_budget(model_name, bs))
+            speedup_fast = per["seed"]["percall_s"] / per["fast"]["percall_s"]
+            speedup_many = (per["seed"]["percall_s"]
+                            / per["run_many"]["percall_s"])
+            rows.append([model_name, bs,
+                         per["seed"]["percall_s"] * 1e6,
+                         per["fast"]["percall_s"] * 1e6,
+                         per["run_many"]["percall_s"] * 1e6,
+                         round(speedup_fast, 2), round(speedup_many, 2)])
+            results[f"{model_name}_bs{bs}"] = {
+                "seed_percall_us": per["seed"]["percall_s"] * 1e6,
+                "fast_percall_us": per["fast"]["percall_s"] * 1e6,
+                "run_many_percall_us": per["run_many"]["percall_s"] * 1e6,
+                "speedup_fast_vs_seed": speedup_fast,
+                "speedup_run_many_vs_seed": speedup_many,
+            }
+    return rows, results
+
+
+def test_overhead_fastpath(benchmark):
+    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Model", "Batch", "seed (us)", "fast (us)", "run_many (us)",
+         "fast x", "run_many x"],
+        rows,
+        title=f"Per-call wall time, hidden={HIDDEN} "
+              f"(plan+arena fast path vs seed path)")
+    save_result("overhead_fastpath", table)
+    record_bench_json(JSON_PATH, {
+        "benchmark": "overhead_fastpath",
+        "hidden": HIDDEN,
+        "results": results,
+    })
+
+    # Acceptance gate: repeated batch-size-1 TreeLSTM calls must be >= 2x
+    # seed-path throughput through the plan + arena path.
+    assert results["treelstm_bs1"]["speedup_fast_vs_seed"] >= 2.0, results
+    # The streaming API must never lose to single-shot fast calls by much
+    # (it additionally copies outputs), and every config must beat seed.
+    for key, r in results.items():
+        assert r["speedup_fast_vs_seed"] > 1.0, (key, r)

@@ -6,49 +6,160 @@ Example (the README quickstart)::
     from repro.data import synthetic_treebank
     from repro.runtime import V100
 
-    model = api.compile_model("treelstm", hidden=256)
-    trees = synthetic_treebank(10)
+    model = api.compile_model("treelstm", hidden=256, vocab=1000)
+    trees = synthetic_treebank(10, vocab_size=1000)
     result = model.run(trees, device=V100)
     print(result.root_output("rnn_h_ph").shape)   # (10, 256)
     print(result.simulated_time_s)                # simulated latency
+
+For repeated inference over a stream of input batches, use the amortized
+entry points: ``model.run(roots, reuse=True)`` recycles workspace buffers
+through the model's arena (the previous call's result buffers are reclaimed
+— copy anything you need to keep), and ``model.run_many(batches)`` does the
+copying for you, returning per-batch root outputs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from .errors import ScheduleError
 from .ilir.codegen.compiled import CompiledModule
-from .linearizer import Node
+from .linearizer import Linearized, Linearizer, Node
 from .models.registry import ModelSpec, get_model
 from .ra import schedule as sched_mod
 from .ra.lowering import Lowered, lower
 from .ra.ops import Program
 from .runtime.device import Device
-from .runtime.executor import ExecutionResult, run_model
+from .runtime.executor import ExecutionResult
+from .runtime.memory import WorkspaceArena
+from .runtime.plan import HostPlan, execute_plan, get_host_plan
+
+
+@dataclass
+class BatchResult:
+    """Lightweight result of one ``run_many`` step.
+
+    Holds *copies* of the root-row outputs (the per-node workspace has
+    already been recycled into the arena by the time the caller sees this).
+    """
+
+    outputs: Dict[str, np.ndarray]
+    roots: np.ndarray
+    wall_time_s: float = 0.0
+    linearize_time_s: float = 0.0
+    simulated_time_s: Optional[float] = None
+    cost: Optional[object] = None
+
+    def root_output(self, name: str) -> np.ndarray:
+        """Rows of an output buffer at the root nodes (the model results)."""
+        return self.outputs[name]
 
 
 @dataclass
 class CortexModel:
-    """A compiled model: program + generated code + parameters."""
+    """A compiled model: program + generated code + host plan + parameters."""
 
     spec: Optional[ModelSpec]
     program: Program
     lowered: Lowered
     compiled: CompiledModule
     params: Dict[str, np.ndarray]
+    #: precompiled host launch plan (kernel partition, buffer recipes)
+    plan: HostPlan = None  # type: ignore[assignment]
+    #: workspace pool for ``reuse=True`` / ``run_many`` calls
+    arena: WorkspaceArena = field(default_factory=WorkspaceArena)
 
+    def __post_init__(self) -> None:
+        if self.plan is None:
+            self.plan = get_host_plan(self.lowered, self.compiled)
+        self._fast_linearizer: Optional[Linearizer] = None
+        self._leased: List[np.ndarray] = []
+
+    # -- linearization -------------------------------------------------------
+    def _linearize(self, roots: Union[Node, Sequence[Node]],
+                   validate: bool) -> Linearized:
+        if isinstance(roots, Node):
+            roots = [roots]
+        if validate:
+            return self.lowered.linearizer(roots)
+        if self._fast_linearizer is None:
+            self._fast_linearizer = self.lowered.linearizer.fast_clone()
+        return self._fast_linearizer(roots)
+
+    def _recycle(self) -> None:
+        if self._leased:
+            self.arena.release_many(self._leased)
+            self._leased = []
+
+    # -- execution -------------------------------------------------------------
     def run(self, roots: Union[Node, Sequence[Node]], *,
-            device: Optional[Device] = None) -> ExecutionResult:
-        return run_model(self.lowered, roots, self.params,
-                         device=device, compiled=self.compiled)
+            device: Optional[Device] = None, reuse: bool = False,
+            validate: bool = True) -> ExecutionResult:
+        """Run one inference call through the precompiled host plan.
+
+        With ``reuse=True`` workspace buffers come from the model's arena:
+        the *previous* ``reuse`` call's buffers are reclaimed first, so a
+        prior result's workspace must not be read after this returns (copy
+        what you need, or use :meth:`run_many`, which copies for you).
+        ``validate=False`` additionally skips input re-validation — layout
+        and outputs are unchanged; only the structure checks of §3 are
+        amortized away.
+        """
+        lin = self._linearize(roots, validate)
+        if not reuse:
+            return execute_plan(self.plan, lin, self.params, device=device)
+        self._recycle()
+        res = execute_plan(self.plan, lin, self.params, device=device,
+                           arena=self.arena)
+        self._leased = list(res.arena_buffers)
+        return res
+
+    def run_many(self, batches: Iterable[Union[Node, Sequence[Node]]], *,
+                 device: Optional[Device] = None,
+                 outputs: Optional[Sequence[str]] = None,
+                 validate: str = "first") -> List[BatchResult]:
+        """Amortized streaming inference over a sequence of input batches.
+
+        Plan setup, scalar templates and workspace buffers are shared across
+        the whole stream; each step's root outputs are copied out before its
+        workspace is recycled, so results stay valid.  ``validate`` is
+        ``"first"`` (check the first batch's structure, trust the rest),
+        ``"always"``, or ``"never"``.
+        """
+        if validate not in ("first", "always", "never"):
+            raise ValueError(f"validate must be first/always/never, "
+                             f"not {validate!r}")
+        names = list(outputs) if outputs is not None else list(dict.fromkeys(
+            list(self.lowered.module.output_buffers)
+            + list(self.lowered.module.state_buffers)))
+        results: List[BatchResult] = []
+        for i, roots in enumerate(batches):
+            check = validate == "always" or (validate == "first" and i == 0)
+            lin = self._linearize(roots, check)
+            res = execute_plan(self.plan, lin, self.params, device=device,
+                               arena=self.arena)
+            # advanced indexing already yields fresh arrays (never views),
+            # so the root rows survive the workspace recycling below
+            outs = {n: res.workspace[n][lin.roots] for n in names}
+            self.arena.release_many(res.arena_buffers)
+            results.append(BatchResult(
+                outputs=outs, roots=lin.roots,
+                wall_time_s=res.wall_time_s,
+                linearize_time_s=lin.wall_time_s,
+                simulated_time_s=res.simulated_time_s, cost=res.cost))
+        return results
 
     @property
     def python_source(self) -> str:
         return self.lowered.module.python_source or ""
+
+    @property
+    def fast_python_source(self) -> str:
+        return self.lowered.module.fast_python_source or ""
 
     @property
     def c_source(self) -> str:
@@ -75,6 +186,10 @@ def compile_model(name: Union[str, ModelSpec], hidden: Optional[int] = None,
     batching + leaf specialization + maximal kernel fusion + model
     persistence.  ``unroll`` / ``refactor`` correspond to §3.1's remaining
     primitives (rejected for DAG models, as in the paper).
+
+    Besides the generated kernels, compilation derives the host execution
+    plan (kernel partition, buffer-shape recipes, scalar templates) so that
+    ``run()`` does no per-call host derivation.
     """
     spec = get_model(name) if isinstance(name, str) else name
     h = hidden if hidden is not None else spec.hs

@@ -52,11 +52,18 @@ def plan_batches(roots: Sequence[Node], *, dynamic_batch: bool,
 
 
 def _plan_by_height(roots: Sequence[Node]) -> BatchPlan:
-    heights = node_heights(roots)
-    max_h = max(heights.values())
-    levels: List[List[Node]] = [[] for _ in range(max_h + 1)]
-    for node in iter_nodes(roots):  # deterministic post-order within levels
-        levels[heights[id(node)]].append(node)
+    # Single traversal: heights and level membership in one post-order pass
+    # (children precede parents, so child heights are always available).
+    # Within each level, nodes keep the deterministic post-order.
+    heights: dict[int, int] = {}
+    levels: List[List[Node]] = []
+    for node in iter_nodes(roots):
+        h = 0 if node.is_leaf else 1 + max(heights[id(c)]
+                                           for c in node.children)
+        heights[id(node)] = h
+        if h >= len(levels):
+            levels.extend([] for _ in range(h + 1 - len(levels)))
+        levels[h].append(node)
     # Height 0 == all leaves: the leaf batch exists whether or not the leaf
     # check is specialized; specialization only changes the generated code.
     return BatchPlan(batches=levels, leaf_batch_count=1)

@@ -25,8 +25,8 @@ import numpy as np
 
 from ..errors import LinearizationError
 from .batches import BatchPlan, plan_batches
-from .numbering import assign_ids, check_numbering
-from .structures import Node, StructureKind, iter_nodes, validate
+from .numbering import assign_ids, check_numbering, execution_order
+from .structures import Node, StructureKind, validate
 
 
 @dataclass
@@ -47,6 +47,15 @@ class Linearized:
     order: List[Node]          # node_id -> Node
     leaf_start: Optional[int]  # ids >= leaf_start are leaves; None if mixed
     wall_time_s: float = 0.0
+    # Derived caches.  ``order``/``batch_length``/``child`` are fixed at
+    # construction; anyone who mutates them must call invalidate_caches().
+    _rev: Optional[Dict[int, int]] = field(default=None, repr=False,
+                                           compare=False)
+    _max_batch_len: Optional[int] = field(default=None, repr=False,
+                                          compare=False)
+    _uf_arrays: Optional[Dict[str, np.ndarray]] = field(default=None,
+                                                        repr=False,
+                                                        compare=False)
 
     @property
     def num_batches(self) -> int:
@@ -54,32 +63,49 @@ class Linearized:
 
     @property
     def max_batch_len(self) -> int:
-        return int(self.batch_length.max())
+        # Hit by execute()/cost-model code on every call; cache the max scan.
+        if self._max_batch_len is None:
+            self._max_batch_len = int(self.batch_length.max())
+        return self._max_batch_len
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches after in-place edits to the backing arrays."""
+        self._rev = None
+        self._max_batch_len = None
+        self._uf_arrays = None
 
     def node_id(self, node: Node) -> int:
         # order is id -> node; build the reverse lazily only when asked.
-        if not hasattr(self, "_rev"):
-            self._rev = {id(n): i for i, n in enumerate(self.order)}
-        return self._rev[id(node)]
+        rev = self._rev
+        if rev is None:
+            rev = self._rev = {id(n): i for i, n in enumerate(self.order)}
+        return rev[id(node)]
 
     def uf_arrays(self) -> Dict[str, np.ndarray]:
-        """Arrays backing the uninterpreted functions of the generated code."""
-        out: Dict[str, np.ndarray] = {
-            "num_children": self.num_children,
-            "words": self.words,
-            "batch_begin": self.batch_begin,
-            "batch_length": self.batch_length,
-            "roots": self.roots,
-        }
-        names = ["left", "right", "child2", "child3"]
-        for k in range(self.max_children):
-            name = names[k] if k < len(names) else f"child{k}"
-            out[name] = self.child[k]
-        for k in range(self.max_children):
-            out[f"child{k}"] = self.child[k]
-        # 2-D form backing the two-argument uninterpreted function child(k, n)
-        out["child"] = self.child
-        return out
+        """Arrays backing the uninterpreted functions of the generated code.
+
+        The mapping is cached; a shallow copy is returned so callers may add
+        their own entries without corrupting the cache (the arrays themselves
+        are shared, as before).
+        """
+        if self._uf_arrays is None:
+            out: Dict[str, np.ndarray] = {
+                "num_children": self.num_children,
+                "words": self.words,
+                "batch_begin": self.batch_begin,
+                "batch_length": self.batch_length,
+                "roots": self.roots,
+            }
+            names = ("left", "right", "child2", "child3")
+            for k in range(self.max_children):
+                row = self.child[k]
+                if k < len(names):
+                    out[names[k]] = row
+                out[f"child{k}"] = row
+            # 2-D form backing the two-argument uninterpreted fn child(k, n)
+            out["child"] = self.child
+            self._uf_arrays = out
+        return dict(self._uf_arrays)
 
     def scalar_params(self) -> Dict[str, int]:
         """Scalar bindings consumed by generated kernels."""
@@ -104,7 +130,7 @@ class Linearizer:
 
     def __init__(self, kind: StructureKind, max_children: int, *,
                  dynamic_batch: bool = True, specialize_leaves: bool = True,
-                 validate_inputs: bool = True):
+                 validate_inputs: bool = True, check: bool = True):
         if max_children < 1:
             raise LinearizationError("max_children must be >= 1")
         self.kind = kind
@@ -112,6 +138,38 @@ class Linearizer:
         self.dynamic_batch = dynamic_batch
         self.specialize_leaves = specialize_leaves
         self.validate_inputs = validate_inputs
+        #: re-verify the Appendix-B numbering invariants on every call.  The
+        #: plan-based fast path turns this off after the first call: the
+        #: invariants are properties of assign_ids, not of the input.
+        self.check = check
+
+    def fast_clone(self) -> "Linearizer":
+        """A linearizer with identical layout but runtime checks disabled.
+
+        Produces bit-identical ``Linearized`` outputs; only input validation
+        and numbering re-verification are skipped (§3: structure claims "can
+        be easily verified at runtime" — the fast path amortizes that check
+        over a stream of calls instead of paying it per call).
+        """
+        return Linearizer(self.kind, self.max_children,
+                          dynamic_batch=self.dynamic_batch,
+                          specialize_leaves=self.specialize_leaves,
+                          validate_inputs=False, check=False)
+
+    def reference_clone(self) -> "Linearizer":
+        """A linearizer reproducing the seed implementation exactly.
+
+        Full validation, numbering re-verification, and the original
+        per-node array construction loop.  Kept as the baseline the
+        vectorized builder is tested against and the overhead benchmarks
+        compare to; outputs are bit-identical to this linearizer's.
+        """
+        out = Linearizer(self.kind, self.max_children,
+                         dynamic_batch=self.dynamic_batch,
+                         specialize_leaves=self.specialize_leaves,
+                         validate_inputs=True, check=True)
+        out._build_arrays = out._build_arrays_reference  # type: ignore
+        return out
 
     def __call__(self, roots: Sequence[Node] | Node) -> Linearized:
         if isinstance(roots, Node):
@@ -122,7 +180,8 @@ class Linearizer:
         plan = plan_batches(roots, dynamic_batch=self.dynamic_batch,
                             specialize_leaves=self.specialize_leaves)
         ids = assign_ids(plan)
-        check_numbering(plan, ids)
+        if self.check:
+            check_numbering(plan, ids)
         out = self._build_arrays(roots, plan, ids)
         out.wall_time_s = time.perf_counter() - t0
         return out
@@ -130,6 +189,70 @@ class Linearizer:
     # -- internals -------------------------------------------------------------
     def _build_arrays(self, roots: Sequence[Node], plan: BatchPlan,
                       ids: Dict[int, int]) -> Linearized:
+        """Array construction over the batch plan (vectorized).
+
+        ``execution_order`` already lists nodes in id order, so per-node
+        arrays are bulk ``np.fromiter`` fills instead of per-node indexed
+        stores, the child arrays are one fancy-indexed scatter from
+        pre-collected id triples, and batch begins fall out of the numbering
+        invariant (``begin[i] = total - cumsum(lengths)[i]``) with no
+        per-batch ``min()`` scan.
+        """
+        n = plan.num_nodes
+        order = execution_order(plan)
+
+        words = np.fromiter((nd.word for nd in order), dtype=np.int32,
+                            count=n)
+        num_children = np.fromiter((len(nd.children) for nd in order),
+                                   dtype=np.int32, count=n)
+        child = np.full((self.max_children, n), -1, dtype=np.int32)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[int] = []
+        for nid, nd in enumerate(order):
+            for k, c in enumerate(nd.children):
+                rows.append(k)
+                cols.append(nid)
+                vals.append(ids[id(c)])
+        if rows:
+            child[np.asarray(rows, dtype=np.intp),
+                  np.asarray(cols, dtype=np.intp)] = np.asarray(
+                      vals, dtype=np.int32)
+
+        num_leaves = int(np.count_nonzero(num_children == 0))
+
+        lengths = np.fromiter((len(b) for b in plan.batches), dtype=np.int32,
+                              count=len(plan.batches))
+        begins = (n - np.cumsum(lengths, dtype=np.int64)).astype(np.int32)
+
+        # Leaves occupy the top id block exactly when the trailing
+        # ``num_leaves`` ids all have arity zero (height batching).
+        leaf_start: Optional[int] = None
+        if num_leaves and not num_children[n - num_leaves:].any():
+            leaf_start = int(n - num_leaves)
+
+        return Linearized(
+            kind=self.kind,
+            max_children=self.max_children,
+            num_nodes=n,
+            num_leaves=num_leaves,
+            child=child,
+            num_children=num_children,
+            words=words,
+            batch_begin=begins,
+            batch_length=lengths,
+            leaf_batch_count=plan.leaf_batch_count,
+            roots=np.sort(np.fromiter((ids[id(r)] for r in roots),
+                                      dtype=np.int32, count=len(roots))),
+            order=order,
+            leaf_start=leaf_start,
+        )
+
+    def _build_arrays_reference(self, roots: Sequence[Node], plan: BatchPlan,
+                                ids: Dict[int, int]) -> Linearized:
+        """The seed per-node construction loop (see :meth:`reference_clone`)."""
+        from .structures import iter_nodes
+
         n = plan.num_nodes
         child = np.full((self.max_children, n), -1, dtype=np.int32)
         num_children = np.zeros(n, dtype=np.int32)
@@ -155,7 +278,8 @@ class Linearizer:
 
         leaf_ids = np.flatnonzero(num_children == 0)
         leaf_start: Optional[int] = None
-        if num_leaves and leaf_ids[0] == n - num_leaves and len(leaf_ids) == num_leaves:
+        if (num_leaves and leaf_ids[0] == n - num_leaves
+                and len(leaf_ids) == num_leaves):
             leaf_start = int(n - num_leaves)
 
         return Linearized(
@@ -169,7 +293,8 @@ class Linearizer:
             batch_begin=np.asarray(begins, dtype=np.int32),
             batch_length=np.asarray(lengths, dtype=np.int32),
             leaf_batch_count=plan.leaf_batch_count,
-            roots=np.asarray(sorted(ids[id(r)] for r in roots), dtype=np.int32),
+            roots=np.asarray(sorted(ids[id(r)] for r in roots),
+                             dtype=np.int32),
             order=order,  # type: ignore[arg-type]
             leaf_start=leaf_start,
         )

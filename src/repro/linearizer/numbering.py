@@ -13,11 +13,23 @@ Nodes in a batch are numbered consecutively and *higher than their parents*:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 from ..errors import LinearizationError
 from .batches import BatchPlan
 from .structures import Node
+
+
+def execution_order(plan: BatchPlan) -> List[Node]:
+    """Nodes in *id* order: ``execution_order(plan)[i]`` has node id ``i``.
+
+    This is the positional form of :func:`assign_ids`: batches execute
+    first-to-last but are numbered last-to-first, so enumerating the
+    reversed batch list yields nodes in ascending id order.  The vectorized
+    linearizer builds its per-node arrays directly over this list instead of
+    walking the structure again.
+    """
+    return [node for batch in reversed(plan.batches) for node in batch]
 
 
 def assign_ids(plan: BatchPlan) -> Dict[int, int]:
@@ -27,14 +39,10 @@ def assign_ids(plan: BatchPlan) -> Dict[int, int]:
     children (executed earlier) higher ids than their parents (executed
     later), while keeping each batch contiguous.
     """
-    ids: Dict[int, int] = {}
-    next_id = 0
-    for batch in reversed(plan.batches):
-        for node in batch:
-            if id(node) in ids:
-                raise LinearizationError("node appears in two batches")
-            ids[id(node)] = next_id
-            next_id += 1
+    order = execution_order(plan)
+    ids: Dict[int, int] = {id(node): i for i, node in enumerate(order)}
+    if len(ids) != len(order):
+        raise LinearizationError("node appears in two batches")
     return ids
 
 

@@ -96,10 +96,12 @@ def lower(prog: Program, schedule: Optional[CortexSchedule] = None,
 
     assert_well_formed(module)
 
-    from ..ilir.codegen.python_codegen import generate_python
+    from ..ilir.codegen.python_codegen import (generate_python,
+                                               generate_python_fast)
     from ..ilir.codegen.c_codegen import module_to_c
 
     generate_python(module)
+    generate_python_fast(module)
     module.c_source = module_to_c(module)
 
     linearizer = Linearizer(prog.kind, prog.max_children,

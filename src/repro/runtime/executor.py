@@ -34,6 +34,9 @@ class ExecutionResult:
     wall_time_s: float = 0.0
     simulated_time_s: Optional[float] = None
     cost: Optional[object] = None  # CostReport when a device was supplied
+    #: arrays leased from a WorkspaceArena; recycled by the caller that owns
+    #: the arena (after which this result's workspace must not be read)
+    arena_buffers: list = field(default_factory=list, repr=False)
 
     def output(self, name: str) -> np.ndarray:
         """Full per-node output array for a state buffer."""
@@ -99,8 +102,32 @@ def _concrete_shape(buf, bindings, params) -> Optional[tuple[int, ...]]:
 
 def execute(lowered: Lowered, compiled: CompiledModule, lin: Linearized,
             params: Mapping[str, np.ndarray], *,
-            device=None) -> ExecutionResult:
-    """Run the host program; charge costs when ``device`` is given."""
+            device=None, plan=None, arena=None) -> ExecutionResult:
+    """Run the host program; charge costs when ``device`` is given.
+
+    Execution goes through the precompiled :class:`~repro.runtime.plan
+    .HostPlan` (built once per compiled module and cached on it): kernel
+    launches are prebuilt records, buffer shapes are pre-parsed recipes,
+    and — when an ``arena`` is supplied — workspace buffers are recycled
+    across calls.  Outputs are bit-identical to
+    :func:`execute_reference`, the original per-call-derivation path.
+    """
+    from .plan import execute_plan, get_host_plan
+
+    if plan is None:
+        plan = get_host_plan(lowered, compiled)
+    return execute_plan(plan, lin, params, device=device, arena=arena)
+
+
+def execute_reference(lowered: Lowered, compiled: CompiledModule,
+                      lin: Linearized, params: Mapping[str, np.ndarray], *,
+                      device=None) -> ExecutionResult:
+    """The seed execution path: re-derives all host structure per call.
+
+    Kept as the semantic baseline — plan-path equivalence tests and the
+    overhead benchmarks compare against it — and for modules whose operator
+    nests are unavailable.
+    """
     module = lowered.module
     c = build_scalars(module, lin)
     ws = allocate_workspace(module, lin, params)
@@ -157,9 +184,16 @@ def execute(lowered: Lowered, compiled: CompiledModule, lin: Linearized,
 
 
 def run_model(lowered: Lowered, roots, params: Mapping[str, np.ndarray], *,
-              device=None, compiled: Optional[CompiledModule] = None
-              ) -> ExecutionResult:
-    """Convenience wrapper: linearize inputs, then execute."""
+              device=None, compiled: Optional[CompiledModule] = None,
+              reference: bool = False) -> ExecutionResult:
+    """Convenience wrapper: linearize inputs, then execute.
+
+    ``reference=True`` forces the seed slow path (fresh workspace, per-call
+    host derivation) — used by equivalence tests and overhead benchmarks.
+    """
     lin = lowered.linearizer(roots)
     compiled = compiled or CompiledModule(lowered.module)
+    if reference:
+        return execute_reference(lowered, compiled, lin, params,
+                                 device=device)
     return execute(lowered, compiled, lin, params, device=device)

@@ -6,12 +6,15 @@ versions, and tests pin the two against each other.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 import numpy as np
 
 from ..ilir.passes.nonlinear_approx import sigmoid_rational, tanh_rational
 
-__all__ = ["tanh", "sigmoid", "exp", "log", "sqrt", "relu", "erf",
-           "tanh_rational", "sigmoid_rational"]
+__all__ = ["tanh", "sigmoid", "sigmoid_fast", "exp", "log", "sqrt", "relu",
+           "erf", "tanh_rational", "sigmoid_rational", "einsum2",
+           "einsum2_into"]
 
 tanh = np.tanh
 exp = np.exp
@@ -29,6 +32,125 @@ def sigmoid(x):
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
     return out
+
+
+def sigmoid_fast(x):
+    """Branchless stable logistic used by the fast generated kernels.
+
+    Computes the same per-element formulas as :func:`sigmoid` —
+    ``1/(1+exp(-x))`` for ``x >= 0`` and ``exp(x)/(1+exp(x))`` otherwise,
+    via ``exp(-|x|)`` so the exponential never overflows — but with one
+    full-array ``exp`` and a ``where`` select instead of two boolean
+    gather/scatter round trips.  Bit-identical outputs are asserted across
+    the model zoo by the plan-path equivalence tests.
+    """
+    x = np.asarray(x)
+    z = np.exp(-np.abs(x))
+    t = 1.0 + z
+    return np.where(x >= 0, 1.0 / t, z / t)
+
+
+# -- einsum with compile-time-cached contraction plans -------------------------
+#
+# The reference kernels call ``np.einsum(spec, a, b, optimize=True)``, which
+# re-runs subscript parsing and contraction-path search on *every* invocation
+# — pure per-call host overhead for the 2-operand contractions codegen emits
+# (§7.5 of the paper counts exactly this kind of cost).  ``einsum2`` caches
+# the parsed plan per spec and replays NumPy's own BLAS lowering directly:
+# einsum's blas branch is ``tensordot(a, b, axes=sorted-shared)`` followed by
+# an axis permutation, which is what we do here, so results are bit-identical.
+
+_EINSUM2_PLANS: Dict[str, Optional[Tuple]] = {}
+
+
+def _einsum2_plan(spec: str) -> Optional[Tuple]:
+    plan = _EINSUM2_PLANS.get(spec, False)
+    if plan is False:
+        ins, out = spec.split("->")
+        s0, s1 = ins.split(",")
+        shared = sorted(set(s0) & set(s1))
+        # Mirrors einsum's can_blas conditions: no repeated subscripts inside
+        # an operand, at least one contracted axis, contracted axes absent
+        # from the output, and the output made of exactly the free axes.
+        blas_ok = (len(set(s0)) == len(s0) and len(set(s1)) == len(s1)
+                   and bool(shared) and not (set(shared) & set(out))
+                   and set(out) == set(s0) ^ set(s1))
+        if not blas_ok:
+            plan = None
+        else:
+            ax0 = tuple(s0.index(ch) for ch in shared)
+            ax1 = tuple(s1.index(ch) for ch in shared)
+            notin0 = tuple(i for i in range(len(s0)) if i not in ax0)
+            notin1 = tuple(i for i in range(len(s1)) if i not in ax1)
+            # tensordot's operand arrangement: free axes of a first, then
+            # its contracted axes; contracted axes of b first, then free
+            newaxes_a = notin0 + ax0
+            newaxes_b = ax1 + notin1
+            if newaxes_a == tuple(range(len(s0))):
+                newaxes_a = None
+            if newaxes_b == tuple(range(len(s1))):
+                newaxes_b = None
+            free = ([ch for ch in s0 if ch not in shared]
+                    + [ch for ch in s1 if ch not in shared])
+            perm: Optional[Tuple[int, ...]] = tuple(
+                free.index(ch) for ch in out)
+            if perm == tuple(range(len(perm))):
+                perm = None
+            plan = (ax0, newaxes_a, notin0, newaxes_b, notin1, perm)
+        _EINSUM2_PLANS[spec] = plan
+    return plan
+
+
+def einsum2(spec: str, a, b):
+    """Two-operand einsum with a cached contraction plan.
+
+    Bit-identical to ``np.einsum(spec, a, b, optimize=True)``: this replays
+    NumPy's own BLAS lowering — ``transpose``/``reshape`` the operands into
+    a 2-D ``dot``, reshape back, permute to the output order — with every
+    permutation precomputed per spec instead of re-derived per call.  Specs
+    whose structure einsum would not hand to BLAS fall back to einsum.
+    """
+    plan = _einsum2_plan(spec)
+    if plan is None:
+        return np.einsum(spec, a, b, optimize=True)
+    ax0, newaxes_a, notin0, newaxes_b, notin1, perm = plan
+    ash, bsh = a.shape, b.shape
+    n2 = 1
+    for ax in ax0:
+        n2 *= ash[ax]
+    at = (a if newaxes_a is None else a.transpose(newaxes_a)).reshape(-1, n2)
+    bt = (b if newaxes_b is None else b.transpose(newaxes_b)).reshape(n2, -1)
+    res = np.dot(at, bt)
+    res = res.reshape(tuple(ash[i] for i in notin0)
+                      + tuple(bsh[i] for i in notin1))
+    return res.transpose(perm) if perm is not None else res
+
+
+def einsum2_into(spec: str, a, b, out) -> None:
+    """``out[...] = einsum2(spec, a, b)`` without the intermediate copy.
+
+    When the plan needs no output permutation and the destination slice is
+    C-contiguous with the result dtype, the BLAS call writes straight into
+    it (``np.dot(..., out=)``) — same gemm, same bits, one less allocation
+    and copy per store.  Falls back to the assign form otherwise.
+    """
+    plan = _einsum2_plan(spec)
+    if plan is not None and plan[5] is None and out.flags.c_contiguous:
+        ax0, newaxes_a, _, newaxes_b, _, _ = plan
+        ash = a.shape
+        n2 = 1
+        for ax in ax0:
+            n2 *= ash[ax]
+        at = (a if newaxes_a is None
+              else a.transpose(newaxes_a)).reshape(-1, n2)
+        bt = (b if newaxes_b is None
+              else b.transpose(newaxes_b)).reshape(n2, -1)
+        try:
+            np.dot(at, bt, out=out.reshape(at.shape[0], bt.shape[1]))
+            return
+        except (ValueError, TypeError):
+            pass  # dtype/shape mismatch: take the assign path
+    out[...] = einsum2(spec, a, b)
 
 
 def relu(x):

@@ -1,0 +1,340 @@
+"""Compiled host launch plans: per-call work moved to compile time (§7.5).
+
+``execute()`` originally re-derived host-side structure on every inference
+call: it re-classified kernels by scanning ``module.steps``, re-parsed
+symbolic buffer shapes through the expression evaluator, and rebuilt the
+scalar-binding dict from module metadata.  Those are all functions of the
+*compiled module*, not of the input — exactly the per-invocation host costs
+TVM-style compilers eliminate by precompiling the host program.
+
+:class:`HostPlan` is that precompiled host program.  It is derived once per
+``(lowered, compiled)`` pair and holds:
+
+* the kernel launch schedule, pre-partitioned by kind and resolved to
+  concrete callables (the fast kernel flavor when the module carries one);
+* a buffer-allocation plan with symbolic shapes pre-parsed into
+  ``(static dims, which runtime scalars)`` recipes, plus a per-buffer
+  ``needs_zero`` verdict from a read-before-write analysis, so a workspace
+  arena can recycle buffers without re-zeroing ones every call overwrites;
+* the scalar-binding template (which metadata overrides apply).
+
+:func:`execute_plan` is then a tight loop over prebuilt launch records with
+zero per-call ``module.steps`` scans or symbolic shape evaluation.  Its
+outputs are bit-identical to the reference path
+(:func:`repro.runtime.executor.execute_reference`); the equivalence tests
+assert this across the model zoo.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ilir.codegen.compiled import CompiledModule
+from ..ilir.module import ILModule
+from ..ir import Const, TensorRead, UFCall, Var, evaluate, walk
+from ..linearizer import Linearized
+from ..ra.lowering import Lowered
+
+#: sentinel dim tags for the two runtime-bound shape symbols
+_NUM_NODES = "num_nodes"
+_MAX_BATCH = "max_batch_len"
+
+
+@dataclass(frozen=True)
+class BufferStep:
+    """One entry of the buffer-allocation plan (order matches seed path)."""
+
+    name: str
+    np_dtype: np.dtype
+    #: shape recipe: int (static) | scalar tag (str) | residual Expr
+    dims: Tuple[object, ...]
+    #: fully static shape, precomputed when no dim is runtime-bound
+    static_shape: Optional[Tuple[int, ...]]
+    #: model parameters must be supplied by the caller
+    required_param: bool
+    #: must the buffer be zeroed when recycled from the arena?  False only
+    #: when the analysis proves every read is preceded by a write.
+    needs_zero: bool
+
+
+@dataclass
+class HostPlan:
+    """Precompiled host program for one compiled module."""
+
+    module: ILModule
+    #: launch records: (kernel name, callable) per host phase, in step order
+    pre: List[Tuple[str, Callable]]
+    leaf: List[Tuple[str, Callable]]
+    level: List[Tuple[str, Callable]]
+    fused: List[Tuple[str, Callable]]
+    post: List[Tuple[str, Callable]]
+    buffers: List[BufferStep]
+    #: scalar-binding template (precomputed metadata overrides)
+    max_children_override: Optional[int]
+    specialize: bool
+    #: True when built without operator nests (artifact reloads): every
+    #: buffer conservatively zeroes and the reference kernels are used
+    conservative: bool = False
+    state_buffers: List[str] = field(default_factory=list)
+
+    # -- scalar bindings ---------------------------------------------------
+    def bind_scalars(self, lin: Linearized) -> Dict[str, int]:
+        """Equivalent of :func:`executor.build_scalars`, template-driven."""
+        c = lin.scalar_params()
+        c["max_children"] = (self.max_children_override
+                             if self.max_children_override is not None
+                             else lin.max_children)
+        if self.specialize:
+            c["level_start"] = lin.leaf_batch_count
+        else:
+            c["level_start"] = 0
+            c["leaf_batch_count"] = 0
+        return c
+
+    # -- workspace ---------------------------------------------------------
+    def _resolve_shape(self, step: BufferStep,
+                       lin: Linearized) -> Optional[Tuple[int, ...]]:
+        if step.static_shape is not None:
+            return step.static_shape
+        out: List[int] = []
+        for d in step.dims:
+            if d.__class__ is int:
+                out.append(d)
+            elif d == _NUM_NODES:
+                out.append(lin.num_nodes)
+            elif d == _MAX_BATCH:
+                out.append(lin.max_batch_len)
+            else:
+                try:
+                    out.append(int(evaluate(d, {
+                        "num_nodes": lin.num_nodes,
+                        "max_batch_len": lin.max_batch_len,
+                    })))
+                except Exception:
+                    return None
+        return tuple(out)
+
+    def make_workspace(self, lin: Linearized,
+                       params: Mapping[str, np.ndarray],
+                       arena=None) -> Tuple[Dict[str, np.ndarray],
+                                            List[np.ndarray]]:
+        """Build the workspace; returns it plus arena-leased arrays."""
+        ws = lin.uf_arrays()
+        leased: List[np.ndarray] = []
+        if arena is not None:
+            arena.note_linearized(lin)
+        for step in self.buffers:
+            name = step.name
+            supplied = params.get(name)
+            if supplied is not None:
+                arr = np.asarray(supplied)
+                expect = self._resolve_shape(step, lin)
+                if expect is not None and tuple(arr.shape) != expect:
+                    raise ExecutionError(
+                        f"parameter {name}: shape {arr.shape} != "
+                        f"declared {expect}")
+                ws[name] = arr
+                continue
+            if step.required_param:
+                # model parameters must be supplied; zero-filling them would
+                # silently produce wrong results
+                raise ExecutionError(f"missing model parameter {name!r}")
+            shape = self._resolve_shape(step, lin)
+            if shape is None:
+                raise ExecutionError(f"cannot size buffer {name}")
+            if arena is not None:
+                arr = arena.acquire(shape, step.np_dtype,
+                                    zero=step.needs_zero)
+                leased.append(arr)
+            else:
+                arr = np.zeros(shape, dtype=step.np_dtype)
+            ws[name] = arr
+        return ws, leased
+
+
+def _indirectly_read(nest) -> List[str]:
+    """Buffers read through UF-indexed (cross-node) loads in this nest."""
+    exprs = [nest.body] + list(nest.out_indices)
+    if nest.predicate is not None:
+        exprs.append(nest.predicate)
+    exprs.extend(e for _, e in nest.lets)
+    out = []
+    for e in exprs:
+        for node in walk(e):
+            if isinstance(node, TensorRead):
+                for idx in node.indices:
+                    if any(isinstance(y, UFCall) for y in walk(idx)):
+                        out.append(node.buffer.name)
+                        break
+    return out
+
+
+def _nest_reads(nest) -> List[str]:
+    names = [b.name for b in nest.reads]
+    exprs = [nest.body] + list(nest.out_indices)
+    if nest.predicate is not None:
+        exprs.append(nest.predicate)
+    exprs.extend(e for _, e in nest.lets)
+    for e in exprs:
+        for node in walk(e):
+            if isinstance(node, TensorRead):
+                names.append(node.buffer.name)
+    return names
+
+
+def _zero_required(module: ILModule) -> set:
+    """Which buffers may observe their initial contents (must be zeroed)?
+
+    A buffer can skip re-zeroing on arena reuse only when every read of it
+    is preceded, in host program order, by a write.  Conservatively, state
+    buffers and anything read through an indirect (UF / child) index are
+    always zeroed — cross-node reads may touch rows the current call never
+    wrote (e.g. zero-folded leaf states, §4.3).
+    """
+    needs = set(module.state_buffers)
+    kernels = module.kernels
+    order = ([k for k in kernels if k.kind in ("pre", "hoisted")]
+             + [k for k in kernels if k.kind == "leaf"]
+             + [k for k in kernels if k.kind == "level"]
+             + [k for k in kernels if k.kind == "fused"]
+             + [k for k in kernels if k.kind == "post"])
+    written: set = set()
+    for kernel in order:
+        nests = kernel.nests
+        if kernel.kind == "fused":
+            # leaf-phase nests launch before the level loop
+            nests = ([n for n in nests if n.phase == "leaf"]
+                     + [n for n in nests if n.phase != "leaf"])
+        for nest in nests:
+            for name in _nest_reads(nest):
+                if name not in written:
+                    needs.add(name)
+            needs.update(_indirectly_read(nest))
+            written.add(nest.out.name)
+    return needs
+
+
+def build_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
+    """Derive the host plan from a lowered module at compile time."""
+    module = lowered.module
+    conservative = not (module.kernels
+                        and all(k.nests for k in module.kernels))
+    fns = compiled.fns if conservative else compiled.launch_fns
+    groups: Dict[str, List[Tuple[str, Callable]]] = {
+        "pre": [], "leaf": [], "level": [], "fused": [], "post": []}
+    for step in module.steps:
+        k = step.kernel
+        kind = "pre" if k.kind == "hoisted" else k.kind
+        groups[kind].append((k.name, fns[k.name]))
+
+    zero_set = (set(module.buffers) if conservative
+                else _zero_required(module))
+    buffers: List[BufferStep] = []
+    for name, buf in module.buffers.items():
+        dims: List[object] = []
+        static = True
+        for s in buf.shape:
+            if isinstance(s, Const):
+                dims.append(int(s.value))
+            elif isinstance(s, Var) and s.name in (_NUM_NODES, _MAX_BATCH):
+                dims.append(s.name)
+                static = False
+            else:
+                try:
+                    dims.append(int(evaluate(s, {})))
+                except Exception:
+                    dims.append(s)
+                    static = False
+        required = (buf.scope in ("param", "register")
+                    and not name.endswith("_hoisted"))
+        buffers.append(BufferStep(
+            name=name,
+            np_dtype=np.dtype(buf.dtype.to_numpy()),
+            dims=tuple(dims),
+            static_shape=tuple(dims) if static else None,
+            required_param=required,
+            needs_zero=name in zero_set,
+        ))
+
+    return HostPlan(
+        module=module,
+        pre=groups["pre"], leaf=groups["leaf"], level=groups["level"],
+        fused=groups["fused"], post=groups["post"],
+        buffers=buffers,
+        max_children_override=(
+            int(module.meta["max_children"])
+            if "max_children" in module.meta else None),
+        specialize=bool(module.meta.get("specialize")),
+        conservative=conservative,
+        state_buffers=list(module.state_buffers),
+    )
+
+
+def get_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
+    """The cached plan for this compiled module (built on first use)."""
+    plan = getattr(compiled, "_host_plan", None)
+    if plan is None or plan.module is not lowered.module:
+        plan = build_host_plan(lowered, compiled)
+        compiled._host_plan = plan
+    return plan
+
+
+def execute_plan(plan: HostPlan, lin: Linearized,
+                 params: Mapping[str, np.ndarray], *,
+                 device=None, arena=None):
+    """Run the precompiled host program over one linearized input batch.
+
+    The launch sequence replays the reference host loop exactly — pre and
+    hoisted kernels in step order, leaf kernels over the leaf batches, level
+    kernels over the internal batches, then fused and post kernels — so
+    outputs are bit-identical to :func:`executor.execute_reference`.
+    """
+    from .executor import ExecutionResult
+
+    c = plan.bind_scalars(lin)
+    ws, leased = plan.make_workspace(lin, params, arena)
+
+    t0 = time.perf_counter()
+    for _, fn in plan.pre:
+        fn(ws, c)
+
+    if plan.leaf or plan.level:
+        begins = lin.batch_begin.tolist()
+        lengths = lin.batch_length.tolist()
+
+    if plan.leaf:
+        nlb = c["leaf_batch_count"]
+        for _, fn in plan.leaf:
+            for lb in range(nlb):
+                fn(ws, c, begins[lb], lengths[lb])
+
+    if plan.level:
+        for b in range(c["level_start"], c["num_batches"]):
+            begin = begins[b]
+            length = lengths[b]
+            for _, fn in plan.level:
+                fn(ws, c, begin, length)
+
+    for _, fn in plan.fused:
+        fn(ws, c)
+    for _, fn in plan.post:
+        fn(ws, c)
+
+    wall = time.perf_counter() - t0
+
+    result = ExecutionResult(workspace=ws, lin=lin,
+                             state_buffers=list(plan.module.state_buffers),
+                             wall_time_s=wall,
+                             arena_buffers=leased)
+    if device is not None:
+        from .costmodel import estimate_cost
+
+        report = estimate_cost(plan.module, lin, device)
+        result.cost = report
+        result.simulated_time_s = report.total_time_s
+    return result

@@ -1,0 +1,445 @@
+"""Plan-based execution, workspace arena, and fast-kernel equivalence.
+
+The compiled host plan (``runtime/plan.py``), the fast kernel flavor
+(``fast_python_source``), the vectorized linearizer, and the workspace
+arena must all be *bit-identical* to the seed slow path
+(``execute_reference`` + fresh zero-filled workspaces + the original
+per-node linearizer loop).  These tests assert that across the model zoo
+and schedule variants, plus the arena-specific properties (no state leaks
+between calls, correct zero-fill analysis, bucketed eviction).
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.data import synthetic_treebank
+from repro.linearizer import (DagLinearizer, SequenceLinearizer,
+                              TreeLinearizer, branch, leaf, sequence,
+                              tree_from_nested)
+from repro.models.registry import MODELS
+from repro.runtime import (V100, WorkspaceArena, execute, execute_reference,
+                           size_bucket)
+from repro.runtime.kernels import einsum2, einsum2_into
+from repro.runtime.plan import build_host_plan, execute_plan, get_host_plan
+
+VOCAB = 120
+
+
+def _small_model(name, **schedule):
+    kw = dict(hidden=8, **schedule)
+    if name == "dagrnn":
+        kw["num_cells"] = 64
+    else:
+        kw["vocab"] = VOCAB
+    return api.compile_model(name, **kw)
+
+
+def _inputs(name, rng, batch=3):
+    if name == "dagrnn":
+        from repro.data import grid_dag_batch
+
+        return grid_dag_batch(batch, 4, 4)
+    if MODELS[name].kind.value == "sequence":
+        from repro.models.sequential import make_sequence
+
+        return [make_sequence(list(rng.integers(0, VOCAB, 12)))
+                for _ in range(batch)]
+    return synthetic_treebank(batch, vocab_size=VOCAB, rng=rng)
+
+
+def _assert_ws_identical(ref, fast, context=""):
+    assert set(ref.workspace) == set(fast.workspace), context
+    for name in ref.workspace:
+        assert np.array_equal(ref.workspace[name], fast.workspace[name],
+                              equal_nan=True), (context, name)
+
+
+# ---------------------------------------------------------------------------
+# plan path == seed path, bit for bit
+
+
+@pytest.mark.parametrize("name", list(MODELS))
+def test_plan_execute_bit_identical_across_zoo(name):
+    rng = np.random.default_rng(3)
+    m = _small_model(name)
+    roots = _inputs(name, rng)
+    lin = m.lowered.linearizer(roots)
+    ref = execute_reference(m.lowered, m.compiled, lin, m.params)
+    fast = execute(m.lowered, m.compiled, lin, m.params)
+    _assert_ws_identical(ref, fast, name)
+
+
+@pytest.mark.parametrize("schedule", [
+    dict(fusion="none"),
+    dict(specialize=False),
+    dict(dynamic_batch=False),
+    dict(fusion="none", specialize=False, dynamic_batch=False),
+    dict(dense_intermediates=False),
+])
+def test_plan_execute_bit_identical_schedule_variants(schedule):
+    rng = np.random.default_rng(5)
+    m = _small_model("treelstm", **schedule)
+    roots = _inputs("treelstm", rng)
+    lin = m.lowered.linearizer(roots)
+    ref = execute_reference(m.lowered, m.compiled, lin, m.params)
+    fast = execute(m.lowered, m.compiled, lin, m.params)
+    _assert_ws_identical(ref, fast, schedule)
+
+
+def test_plan_is_cached_on_compiled_module():
+    m = _small_model("treernn")
+    p1 = get_host_plan(m.lowered, m.compiled)
+    p2 = get_host_plan(m.lowered, m.compiled)
+    assert p1 is p2
+    assert p1 is m.plan  # compile_model built it eagerly
+
+
+def test_plan_partitions_kernels_like_module_steps():
+    m = _small_model("treelstm", fusion="none")
+    plan = m.plan
+    kinds = {k.kind for k in m.lowered.module.kernels}
+    assert {"leaf", "level"} <= kinds
+    assert len(plan.leaf) + len(plan.level) == len(m.lowered.module.kernels)
+    assert not plan.fused
+    m2 = _small_model("treelstm")
+    assert len(m2.plan.fused) == 1 and not m2.plan.level
+
+
+def test_plan_zero_analysis_marks_state_not_dense_intermediates():
+    m = _small_model("treelstm")
+    by_name = {b.name: b for b in m.plan.buffers}
+    for state in m.lowered.module.state_buffers:
+        assert by_name[state].needs_zero, state
+    # dense intermediates are written before every read — no re-zeroing
+    assert not by_name["h_tilde"].needs_zero
+    assert not by_name["mi"].needs_zero
+
+
+def test_plan_missing_param_and_bad_shape_errors():
+    from repro.errors import ExecutionError
+
+    m = _small_model("treernn")
+    roots = _inputs("treernn", np.random.default_rng(0))
+    lin = m.lowered.linearizer(roots)
+    bad = dict(m.params)
+    first = next(iter(bad))
+    wrong = {k: v for k, v in bad.items() if k != first}
+    with pytest.raises(ExecutionError, match="missing model parameter"):
+        execute_plan(m.plan, lin, wrong)
+    wrong2 = dict(m.params)
+    wrong2[first] = np.zeros((1, 1), dtype=np.float32)
+    with pytest.raises(ExecutionError, match="shape"):
+        execute_plan(m.plan, lin, wrong2)
+
+
+# ---------------------------------------------------------------------------
+# run / run_many / arena semantics
+
+
+@pytest.mark.parametrize("name", ["treelstm", "treegru", "dagrnn"])
+def test_run_many_bit_identical_to_seed_path(name):
+    rng = np.random.default_rng(11)
+    m = _small_model(name)
+    batches = [_inputs(name, rng, batch=b) for b in (1, 3, 2, 3)]
+    results = m.run_many(batches)
+    assert len(results) == len(batches)
+    # results must all stay valid (copies) even after later calls reused
+    # the same workspace buffers
+    for roots, br in zip(batches, results):
+        lin = m.lowered.linearizer(roots)
+        ref = execute_reference(m.lowered, m.compiled, lin, m.params)
+        for out_name in br.outputs:
+            assert np.array_equal(br.outputs[out_name],
+                                  ref.workspace[out_name][lin.roots]), \
+                (name, out_name)
+
+
+def test_run_reuse_does_not_leak_state_between_inputs():
+    rng = np.random.default_rng(23)
+    m = _small_model("treelstm")
+    a = _inputs("treelstm", rng, batch=2)
+    b = _inputs("treelstm", rng, batch=2)  # different trees, similar sizes
+    m.run(a, reuse=True)
+    got = m.run(b, reuse=True)
+    lin = m.lowered.linearizer(b)
+    ref = execute_reference(m.lowered, m.compiled, lin, m.params)
+    _assert_ws_identical(ref, got, "reuse A->B")
+    assert m.arena.stats.hits + m.arena.stats.misses > 0
+
+
+def test_arena_poisoned_buffers_do_not_change_outputs():
+    """Re-acquired buffers may hold garbage; outputs must be unaffected.
+
+    This is the empirical check of the needs_zero analysis: poison every
+    pooled array with NaN, rerun, and require bit-identical outputs.
+    """
+    rng = np.random.default_rng(31)
+    for name in ("treelstm", "treegru", "dagrnn"):
+        m = _small_model(name)
+        roots = _inputs(name, rng, batch=2)
+        m.run(roots, reuse=True)
+        m._recycle()  # return every leased buffer to the pool
+        for pool in m.arena._pools.values():
+            for arr in pool:
+                arr.fill(np.nan if arr.dtype.kind == "f" else -7)
+        got = m.run(roots, reuse=True)
+        lin = m.lowered.linearizer(roots)
+        ref = execute_reference(m.lowered, m.compiled, lin, m.params)
+        for out_name in m.lowered.module.output_buffers:
+            assert np.array_equal(ref.workspace[out_name],
+                                  got.workspace[out_name]), (name, out_name)
+
+
+def test_run_reuse_recycles_previous_workspace():
+    rng = np.random.default_rng(7)
+    m = _small_model("treernn")
+    roots = _inputs("treernn", rng, batch=2)
+    r1 = m.run(roots, reuse=True)
+    assert r1.arena_buffers
+    r2 = m.run(roots, reuse=True)  # same sizes: r1's buffers are reused
+    reused = {id(a) for a in r2.arena_buffers}
+    assert reused & {id(a) for a in r1.arena_buffers}
+    assert m.arena.stats.hits > 0
+
+
+def test_run_with_device_attaches_cost():
+    m = _small_model("treernn")
+    roots = _inputs("treernn", np.random.default_rng(0), batch=2)
+    res = m.run(roots, device=V100, reuse=True)
+    assert res.cost is not None and res.simulated_time_s > 0
+    many = m.run_many([roots], device=V100)
+    assert many[0].simulated_time_s > 0
+
+
+def test_run_many_validate_modes():
+    m = _small_model("treernn")
+    roots = _inputs("treernn", np.random.default_rng(0), batch=1)
+    for mode in ("first", "always", "never"):
+        assert m.run_many([roots, roots], validate=mode)
+    with pytest.raises(ValueError):
+        m.run_many([roots], validate="sometimes")
+    # validation still fires on the first batch: a DAG fed to a tree model
+    shared = leaf(3)
+    dag = branch(branch(shared, leaf(1)), shared)
+    from repro.errors import LinearizationError
+
+    with pytest.raises(LinearizationError):
+        m.run_many([[dag]])
+
+
+# ---------------------------------------------------------------------------
+# arena mechanics
+
+
+def test_arena_pool_hit_and_zero_fill():
+    arena = WorkspaceArena()
+    arena.note_bucket(size_bucket(10, 4))
+    a = arena.acquire((4, 8), np.float32, zero=True)
+    a[:] = 5.0
+    arena.release(a)
+    b = arena.acquire((4, 8), np.float32, zero=True)
+    assert b is a and not b.any()
+    arena.release(b)
+    c = arena.acquire((4, 8), np.float32, zero=False)
+    assert c is a  # garbage allowed when the plan proved it safe
+    assert arena.stats.hits == 2 and arena.stats.misses == 1
+    assert arena.stats.zero_fills == 1
+
+
+def test_arena_bucket_eviction():
+    arena = WorkspaceArena(max_buckets=2)
+    for nodes in (8, 64, 512):
+        arena.note_bucket(size_bucket(nodes, nodes // 2))
+        arr = arena.acquire((nodes, 4), np.float32)
+        arena.release(arr)
+    assert arena.stats.evicted_buckets == 1
+    # the oldest bucket's pool is gone: acquiring its shape misses
+    arena.acquire((8, 4), np.float32)
+    assert arena.stats.misses == 4
+    arena.clear()
+    assert arena.pooled_bytes == 0
+
+
+def test_size_bucket_pow2():
+    assert size_bucket(1, 1) == (1, 1)
+    assert size_bucket(5, 3) == (8, 4)
+    assert size_bucket(64, 64) == (64, 64)
+    assert size_bucket(65, 2) == (128, 2)
+
+
+# ---------------------------------------------------------------------------
+# fast kernels: einsum2 and the generated fast source
+
+
+@pytest.mark.parametrize("spec,sa,sb", [
+    ("bc,ac->ab", (7, 5), (3, 5)),
+    ("cd,abd->abc", (6, 4), (3, 2, 4)),
+    ("ab,bc->ac", (3, 4), (4, 5)),
+    ("ij,jk->ki", (3, 4), (4, 5)),
+    ("ab,ab->", (3, 4), (3, 4)),
+    ("abc,c->ab", (2, 3, 4), (4,)),
+    ("ab,ab->ab", (3, 4), (3, 4)),      # not BLAS-able: einsum fallback
+    ("abd,cd->acb", (2, 3, 4), (5, 4)),
+])
+def test_einsum2_bit_identical_to_einsum(spec, sa, sb):
+    rng = np.random.default_rng(17)
+    a = rng.standard_normal(sa).astype(np.float32)
+    b = rng.standard_normal(sb).astype(np.float32)
+    want = np.einsum(spec, a, b, optimize=True)
+    got = einsum2(spec, a, b)
+    assert np.array_equal(np.asarray(want), np.asarray(got))
+
+
+def test_einsum2_into_writes_in_place_and_falls_back():
+    rng = np.random.default_rng(19)
+    a = rng.standard_normal((6, 5)).astype(np.float32)
+    b = rng.standard_normal((3, 5)).astype(np.float32)
+    want = np.einsum("bc,ac->ab", a, b, optimize=True)
+    buf = np.zeros((10, 10), dtype=np.float32)
+    einsum2_into("bc,ac->ab", a, b, buf[0:3, 0:6])
+    assert np.array_equal(buf[0:3, 0:6], want)
+    # non-contiguous destination: assign path, still correct
+    buf2 = np.zeros((10, 20), dtype=np.float32)
+    einsum2_into("bc,ac->ab", a, b, buf2[0:3, 0:12:2])
+    assert np.array_equal(buf2[0:3, 0:12:2], want)
+
+
+def test_fast_source_is_emitted_and_distinct():
+    m = _small_model("treelstm")
+    mod = m.lowered.module
+    assert mod.fast_python_source and mod.python_source
+    assert "_e2" in mod.fast_python_source
+    assert "_e2" not in mod.python_source
+    assert "optimize=True" in mod.python_source
+    assert m.compiled.fast_fns is not None
+    assert m.compiled.launch_fns is m.compiled.fast_fns
+    # __getitem__ keeps seed semantics (reference kernels)
+    assert m.compiled["fused"] is m.compiled.fns["fused"]
+
+
+# ---------------------------------------------------------------------------
+# linearizer: vectorized builder, caches, satellites
+
+
+def _lin_equal(a, b):
+    for f in ("child", "num_children", "words", "batch_begin",
+              "batch_length", "roots"):
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+    assert a.num_nodes == b.num_nodes
+    assert a.num_leaves == b.num_leaves
+    assert a.leaf_start == b.leaf_start
+    assert a.leaf_batch_count == b.leaf_batch_count
+    assert [id(x) for x in a.order] == [id(x) for x in b.order]
+
+
+@pytest.mark.parametrize("maker,arg", [
+    (lambda: [tree_from_nested(((0, 1), (2, (3, 4))))], None),
+    (lambda: [sequence([1, 2, 3, 4, 5])], None),
+    (lambda: synthetic_treebank(6, vocab_size=50,
+                                rng=np.random.default_rng(2)), None),
+])
+def test_vectorized_linearizer_matches_reference(maker, arg):
+    roots = maker()
+    for lz in (TreeLinearizer(), TreeLinearizer(dynamic_batch=False),
+               TreeLinearizer(dynamic_batch=False, specialize_leaves=False)):
+        _lin_equal(lz(roots), lz.reference_clone()(roots))
+
+
+def test_vectorized_linearizer_matches_reference_dag_and_seq():
+    shared = leaf(7)
+    dag = branch(branch(shared, leaf(1), word=2), shared, word=5)
+    dz = DagLinearizer(max_children=2)
+    _lin_equal(dz([dag]), dz.reference_clone()([dag]))
+    sz = SequenceLinearizer()
+    seq = [sequence(list(range(20)))]
+    _lin_equal(sz(seq), sz.reference_clone()(seq))
+
+
+def test_linearized_rev_is_a_dataclass_field():
+    import dataclasses
+
+    from repro.linearizer.linearize import Linearized
+
+    names = {f.name for f in dataclasses.fields(Linearized)}
+    assert "_rev" in names and "_max_batch_len" in names
+    lin = TreeLinearizer()([tree_from_nested((0, 1))])
+    assert lin._rev is None
+    root = lin.order[0]
+    assert lin.node_id(root) == 0
+    assert lin._rev is not None
+    lin.invalidate_caches()
+    assert lin._rev is None and lin._max_batch_len is None
+    assert lin.node_id(root) == 0  # rebuilt safely
+
+
+def test_linearized_max_batch_len_cached():
+    lin = TreeLinearizer()([tree_from_nested(((0, 1), 2))])
+    assert lin._max_batch_len is None
+    first = lin.max_batch_len
+    assert lin._max_batch_len == first
+    # cached value served even if the backing array changes, until
+    # invalidated (documented contract)
+    lin.batch_length[0] = 99
+    assert lin.max_batch_len == first
+    lin.invalidate_caches()
+    assert lin.max_batch_len == 99
+
+
+def test_uf_arrays_deduped_and_cached():
+    lz = TreeLinearizer(max_children=5)
+    root = branch(leaf(0), leaf(1), leaf(2), leaf(3), leaf(4))
+    lin = lz([root])
+    ufs = lin.uf_arrays()
+    # aliases and child{k} present exactly once each, sharing storage
+    for alias, k in (("left", 0), ("right", 1), ("child2", 2), ("child3", 3)):
+        assert ufs[alias] is ufs[f"child{k}"]
+    assert "child4" in ufs
+    # the returned mapping is a defensive copy over a cached dict
+    ufs["extra"] = np.zeros(1)
+    assert "extra" not in lin.uf_arrays()
+    assert lin.uf_arrays()["child"] is lin.child
+
+
+def test_execution_order_matches_assign_ids():
+    from repro.linearizer.batches import plan_batches
+    from repro.linearizer.numbering import assign_ids, execution_order
+
+    roots = synthetic_treebank(4, vocab_size=30,
+                               rng=np.random.default_rng(8))
+    plan = plan_batches(roots, dynamic_batch=True, specialize_leaves=True)
+    ids = assign_ids(plan)
+    order = execution_order(plan)
+    for i, node in enumerate(order):
+        assert ids[id(node)] == i
+
+
+def test_fast_clone_skips_checks_but_matches():
+    lz = TreeLinearizer()
+    fast = lz.fast_clone()
+    assert not fast.validate_inputs and not fast.check
+    roots = synthetic_treebank(3, vocab_size=40,
+                               rng=np.random.default_rng(4))
+    _lin_equal(lz(roots), fast(roots))
+
+
+# ---------------------------------------------------------------------------
+# artifact round trip executes through the conservative plan
+
+
+def test_artifact_roundtrip_uses_conservative_plan(tmp_path):
+    from repro.tools.artifact import load_model, save_model
+
+    m = _small_model("treernn")
+    roots = _inputs("treernn", np.random.default_rng(13), batch=2)
+    want = m.run(roots).output("rnn")
+    save_model(m, tmp_path / "artifact")
+    dep = load_model(tmp_path / "artifact")
+    res = dep.run(roots)
+    assert np.array_equal(res.output("rnn"), want)
+    plan = get_host_plan(
+        __import__("repro.ra.lowering", fromlist=["Lowered"]).Lowered(
+            module=dep.module, linearizer=dep.linearizer),
+        dep.compiled)
+    assert plan.conservative
+    assert all(b.needs_zero for b in plan.buffers)
