@@ -1,0 +1,130 @@
+"""Serving throughput: coalesced mega-batches vs per-request ``run()``.
+
+The serving subsystem's claim is that cross-request dynamic batching turns
+PR 1's fast path into end-to-end throughput: many callers' small requests
+coalesce into one linearized mega-batch through the shared host plan and
+arena, so the per-call host overhead (validation, linearization, kernel
+launches, workspace setup) is paid once per *flush* instead of once per
+*caller* — exactly the DyNet/Cavs-style batching win the paper's §2
+baselines get, obtained here with zero recompilation.
+
+The sweep drives a fixed stream of independent requests at several request
+sizes (trees per request) through:
+
+* ``per_request`` — the natural per-caller path: one ``model.run(roots)``
+  per request (full validation, fresh workspace);
+* ``serve_fN``    — a ``ModelServer`` with ``MaxPendingRequests(N)``; N=1
+  isolates scheduler overhead (no coalescing), larger N adds coalescing.
+
+Results go to ``BENCH_serve.json`` at the repo root.  The acceptance gate
+is the ``treelstm`` request-size-1 row: coalesced serving (flush 32) must
+be >= 2x per-request throughput, with bit-identical outputs (asserted in
+``tests/test_serve.py``).
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import save_result
+from repro.bench import cortex_model, format_table, record_bench_json
+from repro.data import synthetic_treebank
+from repro.serve import MaxPendingRequests
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: hidden size where host overheads dominate (Fig. 7's flat region) —
+#: the regime serving many small requests lives in
+HIDDEN = 64
+NUM_REQUESTS = 192
+REQUEST_SIZES = (1, 4)
+FLUSH_SIZES = (1, 8, 32)
+MODEL = "treelstm"
+
+
+def _requests(request_size: int):
+    rng = np.random.default_rng(23)
+    return [synthetic_treebank(request_size, vocab_size=1000, rng=rng)
+            for _ in range(NUM_REQUESTS)]
+
+
+def _time_stream(fn, *, repeats: int, warmup: int) -> float:
+    """Median wall time of serving the whole request stream once."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _run():
+    model = cortex_model(MODEL, HIDDEN)
+    rows, results = [], {}
+    for rs in REQUEST_SIZES:
+        requests = _requests(rs)
+        budget = dict(repeats=9, warmup=2) if rs == 1 else dict(
+            repeats=5, warmup=1)
+
+        def per_request():
+            for roots in requests:
+                model.run(roots)
+
+        per = {"per_request": _time_stream(per_request, **budget)}
+        occupancy = {}
+        for flush in FLUSH_SIZES:
+            def served():
+                srv = model.server(policy=MaxPendingRequests(flush))
+                srv.serve_forever(requests)
+                occupancy[flush] = srv.metrics_snapshot()
+            per[f"serve_f{flush}"] = _time_stream(served, **budget)
+
+        base = per["per_request"]
+        row = [MODEL, rs, base / NUM_REQUESTS * 1e6]
+        entry = {"per_request_us": base / NUM_REQUESTS * 1e6,
+                 "requests": NUM_REQUESTS}
+        for flush in FLUSH_SIZES:
+            t = per[f"serve_f{flush}"]
+            row += [t / NUM_REQUESTS * 1e6, round(base / t, 2)]
+            snap = occupancy[flush]
+            entry[f"serve_f{flush}_us"] = t / NUM_REQUESTS * 1e6
+            entry[f"serve_f{flush}_speedup"] = base / t
+            entry[f"serve_f{flush}_occupancy"] = \
+                snap["batch_occupancy_requests"]
+            entry[f"serve_f{flush}_arena_hit_rate"] = \
+                snap["arena"]["hit_rate"]
+        rows.append(row)
+        results[f"{MODEL}_rs{rs}"] = entry
+    return rows, results
+
+
+def test_serve_throughput(benchmark):
+    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    headers = ["Model", "Req size", "per-req (us)"]
+    for flush in FLUSH_SIZES:
+        headers += [f"f{flush} (us)", f"f{flush} x"]
+    table = format_table(
+        headers, rows,
+        title=f"Per-request serving wall time, hidden={HIDDEN}, "
+              f"{NUM_REQUESTS}-request stream (coalesced flush vs "
+              f"per-request run())")
+    save_result("serve_throughput", table)
+    record_bench_json(JSON_PATH, {
+        "benchmark": "serve_throughput",
+        "hidden": HIDDEN,
+        "model": MODEL,
+        "flush_sizes": list(FLUSH_SIZES),
+        "results": results,
+    })
+
+    # Acceptance gate: coalesced serving must be >= 2x per-request run()
+    # throughput for treelstm at request size 1.
+    assert results[f"{MODEL}_rs1"]["serve_f32_speedup"] >= 2.0, results
+    # Coalescing, not scheduler bookkeeping, is the win: the mega-batch
+    # flush must beat the no-coalescing server configuration too.
+    assert (results[f"{MODEL}_rs1"]["serve_f32_speedup"]
+            > results[f"{MODEL}_rs1"]["serve_f1_speedup"]), results

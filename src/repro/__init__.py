@@ -10,12 +10,12 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import api, data, ilir, ir, linearizer, models, ra, runtime
+from . import api, data, ilir, ir, linearizer, models, ra, runtime, serve
 from .api import CortexModel, compile_model
 from .errors import CortexError
 
 __version__ = "0.1.0"
 
 __all__ = ["api", "data", "ilir", "ir", "linearizer", "models", "ra",
-           "runtime", "CortexModel", "compile_model", "CortexError",
+           "runtime", "serve", "CortexModel", "compile_model", "CortexError",
            "__version__"]

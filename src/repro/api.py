@@ -22,7 +22,11 @@ copying for you, returning per-batch root outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .serve import ModelServer
 
 import numpy as np
 
@@ -68,8 +72,9 @@ class CortexModel:
     lowered: Lowered
     compiled: CompiledModule
     params: Dict[str, np.ndarray]
-    #: precompiled host launch plan (kernel partition, buffer recipes)
-    plan: HostPlan = None  # type: ignore[assignment]
+    #: precompiled host launch plan (kernel partition, buffer recipes);
+    #: derived from the compiled module in ``__post_init__`` when omitted
+    plan: Optional[HostPlan] = None
     #: workspace pool for ``reuse=True`` / ``run_many`` calls
     arena: WorkspaceArena = field(default_factory=WorkspaceArena)
 
@@ -80,20 +85,46 @@ class CortexModel:
         self._leased: List[np.ndarray] = []
 
     # -- linearization -------------------------------------------------------
+    def fast_linearizer(self) -> Linearizer:
+        """The model's check-free linearizer (built lazily, then shared).
+
+        Bit-identical layouts to ``lowered.linearizer``; input validation
+        and numbering re-verification are skipped.  Used by ``run(validate
+        =False)``, ``run_many`` and the serving flush loop.
+        """
+        if self._fast_linearizer is None:
+            self._fast_linearizer = self.lowered.linearizer.fast_clone()
+        return self._fast_linearizer
+
+    def default_outputs(self) -> List[str]:
+        """Buffer names result copies cover by default: outputs + state."""
+        return list(dict.fromkeys(
+            list(self.lowered.module.output_buffers)
+            + list(self.lowered.module.state_buffers)))
+
     def _linearize(self, roots: Union[Node, Sequence[Node]],
                    validate: bool) -> Linearized:
         if isinstance(roots, Node):
             roots = [roots]
         if validate:
             return self.lowered.linearizer(roots)
-        if self._fast_linearizer is None:
-            self._fast_linearizer = self.lowered.linearizer.fast_clone()
-        return self._fast_linearizer(roots)
+        return self.fast_linearizer()(roots)
 
     def _recycle(self) -> None:
         if self._leased:
             self.arena.release_many(self._leased)
             self._leased = []
+
+    def release(self) -> None:
+        """Return the last ``run(reuse=True)`` call's workspace to the arena.
+
+        Without this, leased buffers sit out of the pool until the *next*
+        reuse call reclaims them.  Calling it makes the arena drain
+        deterministic — the serving loop invokes it between flushes — and
+        it is a no-op when nothing is leased.  The previous reuse result's
+        workspace must not be read afterwards.
+        """
+        self._recycle()
 
     # -- execution -------------------------------------------------------------
     def run(self, roots: Union[Node, Sequence[Node]], *,
@@ -133,9 +164,8 @@ class CortexModel:
         if validate not in ("first", "always", "never"):
             raise ValueError(f"validate must be first/always/never, "
                              f"not {validate!r}")
-        names = list(outputs) if outputs is not None else list(dict.fromkeys(
-            list(self.lowered.module.output_buffers)
-            + list(self.lowered.module.state_buffers)))
+        names = (list(outputs) if outputs is not None
+                 else self.default_outputs())
         results: List[BatchResult] = []
         for i, roots in enumerate(batches):
             check = validate == "always" or (validate == "first" and i == 0)
@@ -152,6 +182,19 @@ class CortexModel:
                 linearize_time_s=lin.wall_time_s,
                 simulated_time_s=res.simulated_time_s, cost=res.cost))
         return results
+
+    # -- serving ---------------------------------------------------------------
+    def server(self, **kw) -> "ModelServer":
+        """A :class:`~repro.serve.ModelServer` wrapping this model.
+
+        The server coalesces many independent requests into single
+        linearized mega-batches through this model's host plan and arena;
+        keyword arguments (``policy``, ``max_queue``, ...) are forwarded to
+        the :class:`~repro.serve.ModelServer` constructor.
+        """
+        from .serve import ModelServer
+
+        return ModelServer(self, **kw)
 
     @property
     def python_source(self) -> str:

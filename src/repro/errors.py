@@ -45,3 +45,11 @@ class ExecutionError(CortexError):
 
 class DeviceError(CortexError):
     """Unknown device or invalid device parameter."""
+
+
+class ServingError(CortexError):
+    """Invalid use of the serving subsystem (bad policy, stopped server)."""
+
+
+class QueueFullError(ServingError):
+    """Admission control rejected a request: the scheduler queue is full."""

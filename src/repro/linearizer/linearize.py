@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,6 +170,40 @@ class Linearizer:
                          validate_inputs=True, check=True)
         out._build_arrays = out._build_arrays_reference  # type: ignore
         return out
+
+    def coalesce(self, root_sets: Sequence[Sequence[Node] | Node]
+                 ) -> Tuple[Linearized, List[np.ndarray]]:
+        """Linearize several independent root sets as one merged forest.
+
+        The serving subsystem's forest-merge entry point: the root sets of
+        many queued requests are concatenated and linearized in a single
+        pass, so one mega-batch of kernel launches covers all of them.
+        Batching is by height across the whole forest, and each node's value
+        depends only on its own subtree, so every request's root rows come
+        out bit-identical to linearizing and running that request alone.
+
+        Returns the merged :class:`Linearized` plus, per input root set (in
+        order), the node ids of its roots — the scatter map a caller uses to
+        hand root-row outputs back to the request that contributed them.
+        Nodes shared between root sets are visited once, as within a single
+        DAG batch.
+        """
+        if not root_sets:
+            raise LinearizationError("coalesce needs at least one root set")
+        sets: List[Sequence[Node]] = [
+            [rs] if isinstance(rs, Node) else list(rs) for rs in root_sets]
+        merged: List[Node] = []
+        seen: set = set()
+        for rs in sets:
+            for r in rs:
+                if id(r) not in seen:   # a root shared between requests
+                    seen.add(id(r))     # enters the forest once
+                    merged.append(r)
+        lin = self(merged)
+        id_sets = [np.fromiter((lin.node_id(r) for r in rs),
+                               dtype=np.int64, count=len(rs))
+                   for rs in sets]
+        return lin, id_sets
 
     def __call__(self, roots: Sequence[Node] | Node) -> Linearized:
         if isinstance(roots, Node):

@@ -63,6 +63,17 @@ class ArenaStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> Dict[str, float]:
+        """The counters as one flat dict (metrics / monitoring surface)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "zero_fills": self.zero_fills,
+            "evicted_arrays": self.evicted_arrays,
+            "evicted_buckets": self.evicted_buckets,
+        }
+
 
 class WorkspaceArena:
     """Pool of workspace arrays keyed by exact ``(shape, dtype)``.
@@ -144,6 +155,18 @@ class WorkspaceArena:
     @property
     def pooled_bytes(self) -> int:
         return sum(a.nbytes for pool in self._pools.values() for a in pool)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Stats counters plus the current pool footprint, as one dict.
+
+        This is what the serving metrics report as the ``arena`` section;
+        it is cheap enough to call per metrics scrape.
+        """
+        out = self.stats.snapshot()
+        out["pooled_bytes"] = self.pooled_bytes
+        out["pooled_arrays"] = sum(len(p) for p in self._pools.values())
+        out["buckets"] = len(self._buckets)
+        return out
 
 
 # ---------------------------------------------------------------------------

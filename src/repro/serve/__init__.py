@@ -1,0 +1,32 @@
+"""Serving subsystem: cross-request dynamic batching over compiled models.
+
+The first subsystem layered *on top of* the compiler rather than inside
+it.  Many independent inference requests are coalesced into single
+linearized mega-batches executed through a model's precompiled host plan
+and workspace arena — bit-identical to running each request alone, but
+paying the per-call host overhead once per flush instead of once per
+caller.  Pieces:
+
+* :mod:`~repro.serve.request` — requests and future-like handles;
+* :mod:`~repro.serve.coalescer` — forest merge + root-row scatter;
+* :mod:`~repro.serve.scheduler` — flush policies, admission control;
+* :mod:`~repro.serve.server` — the :class:`ModelServer` front-end;
+* :mod:`~repro.serve.metrics` — throughput / latency / occupancy;
+* :mod:`~repro.serve.router` — multi-model dispatch by name.
+"""
+
+from .coalescer import CoalescedBatch, coalesce, scatter
+from .metrics import ServerMetrics
+from .request import Request, RequestHandle, RequestResult
+from .router import Router
+from .scheduler import (AnyOf, Deadline, FlushPolicy, MaxPendingRequests,
+                        MaxTotalNodes, QueueSnapshot, Scheduler,
+                        default_policy)
+from .server import ModelServer
+
+__all__ = [
+    "CoalescedBatch", "coalesce", "scatter", "ServerMetrics", "Request",
+    "RequestHandle", "RequestResult", "Router", "AnyOf", "Deadline",
+    "FlushPolicy", "MaxPendingRequests", "MaxTotalNodes", "QueueSnapshot",
+    "Scheduler", "default_policy", "ModelServer",
+]

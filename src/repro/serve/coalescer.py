@@ -1,0 +1,60 @@
+"""Cross-request coalescing: many requests -> one linearized mega-batch.
+
+The compiler's generated code already executes a *forest* — the linearizer
+batches nodes by height across every tree it is handed, and each node's
+value depends only on its own subtree.  Coalescing therefore needs no new
+kernel work at all: concatenate the queued requests' root sets, linearize
+once (:meth:`repro.linearizer.Linearizer.coalesce`), launch the model's
+host plan once, and scatter the root rows back to the requests that
+contributed them.  Outputs are bit-identical to running each request alone;
+what changes is that the per-flush host overhead (linearization, kernel
+launches, workspace setup) is paid once for the whole batch instead of once
+per caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..linearizer import Linearized, Linearizer
+from .request import Request
+
+
+@dataclass
+class CoalescedBatch:
+    """One flush's worth of requests, merged into a single mega-batch."""
+
+    requests: List[Request]
+    lin: Linearized
+    #: per request (in ``requests`` order): node ids of its roots, the
+    #: scatter map from mega-batch rows back to the request's outputs
+    root_ids: List[np.ndarray]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.lin.num_nodes
+
+
+def coalesce(requests: Sequence[Request],
+             linearizer: Linearizer) -> CoalescedBatch:
+    """Merge the requests' root sets into one linearized forest."""
+    lin, root_ids = linearizer.coalesce([r.roots for r in requests])
+    return CoalescedBatch(requests=list(requests), lin=lin,
+                          root_ids=root_ids)
+
+
+def scatter(batch: CoalescedBatch, workspace: Dict[str, np.ndarray],
+            names: Sequence[str]) -> List[Dict[str, np.ndarray]]:
+    """Per-request root-row outputs, in ``batch.requests`` order.
+
+    Advanced indexing yields fresh arrays (never views), so the returned
+    rows survive the mega-batch workspace being recycled into the arena.
+    """
+    return [{n: workspace[n][ids] for n in names} for ids in batch.root_ids]

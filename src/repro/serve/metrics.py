@@ -1,0 +1,102 @@
+"""Serving metrics: throughput, latency percentiles, batch occupancy.
+
+One :class:`ServerMetrics` instance per server.  The server's flush loop
+feeds it; :meth:`ServerMetrics.snapshot` renders everything as one flat
+dict suitable for logging or a monitoring scrape, including the workspace
+arena's counters (hit rate, pooled bytes) when an arena is supplied.
+
+Latency and occupancy distributions are kept in bounded sliding windows so
+a long-running server's metrics reflect recent traffic at O(window) memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.memory import WorkspaceArena
+
+
+class ServerMetrics:
+    """Counters plus sliding-window distributions for one model server.
+
+    Thread-safe: the worker thread records while callers snapshot.
+    """
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.flushes = 0
+        self.nodes_processed = 0
+        #: per-request end-to-end latency (submit -> result set), seconds
+        self._latencies: Deque[float] = deque(maxlen=window)
+        #: per-flush occupancy: requests and structure nodes per mega-batch
+        self._flush_requests: Deque[int] = deque(maxlen=window)
+        self._flush_nodes: Deque[int] = deque(maxlen=window)
+        self._flush_exec_s: Deque[float] = deque(maxlen=window)
+
+    # -- recording (server side) -------------------------------------------
+    def note_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def note_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_flush(self, num_requests: int, num_nodes: int, exec_s: float,
+                   latencies: Sequence[float], *, failed: bool = False
+                   ) -> None:
+        with self._lock:
+            self.flushes += 1
+            if failed:
+                self.failed += num_requests
+            else:
+                self.completed += num_requests
+                self.nodes_processed += num_nodes
+                self._flush_requests.append(num_requests)
+                self._flush_nodes.append(num_nodes)
+                self._flush_exec_s.append(exec_s)
+                self._latencies.extend(latencies)
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self, arena: Optional[WorkspaceArena] = None
+                 ) -> Dict[str, object]:
+        """Everything as one dict; percentiles over the sliding window."""
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._t0, 1e-12)
+            lat = np.asarray(self._latencies, dtype=np.float64)
+            occ_r = np.asarray(self._flush_requests, dtype=np.float64)
+            occ_n = np.asarray(self._flush_nodes, dtype=np.float64)
+            out: Dict[str, object] = {
+                "uptime_s": elapsed,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "flushes": self.flushes,
+                "nodes_processed": self.nodes_processed,
+                "throughput_rps": self.completed / elapsed,
+                "throughput_nodes_ps": self.nodes_processed / elapsed,
+                "latency_p50_ms": (float(np.percentile(lat, 50)) * 1e3
+                                   if lat.size else 0.0),
+                "latency_p99_ms": (float(np.percentile(lat, 99)) * 1e3
+                                   if lat.size else 0.0),
+                "latency_mean_ms": (float(lat.mean()) * 1e3
+                                    if lat.size else 0.0),
+                "batch_occupancy_requests": (float(occ_r.mean())
+                                             if occ_r.size else 0.0),
+                "batch_occupancy_nodes": (float(occ_n.mean())
+                                          if occ_n.size else 0.0),
+            }
+        if arena is not None:
+            out["arena"] = arena.snapshot()
+        return out

@@ -1,0 +1,115 @@
+"""Requests and future-like result handles for the serving subsystem.
+
+A request is one caller's independent inference input: a set of recursive
+structure roots.  Submitting it to a :class:`~repro.serve.ModelServer`
+returns a :class:`RequestHandle` immediately; the result materializes when
+the scheduler flushes the mega-batch the request rode in.  Handles are
+thread-safe — the threaded server completes them from its worker thread
+while callers block in :meth:`RequestHandle.result`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ServingError
+from ..linearizer import Node
+
+
+@dataclass
+class RequestResult:
+    """Per-request outcome of one coalesced flush.
+
+    ``outputs`` holds *copies* of this request's root rows (the shared
+    mega-batch workspace has already been recycled into the arena by the
+    time the caller sees this), keyed by buffer name and ordered like the
+    request's roots.
+    """
+
+    request_id: int
+    outputs: Dict[str, np.ndarray]
+    #: how many requests / structure nodes shared the flush (occupancy)
+    batch_requests: int
+    batch_nodes: int
+    queue_time_s: float = 0.0
+    exec_time_s: float = 0.0
+    latency_s: float = 0.0
+    simulated_time_s: Optional[float] = None
+
+    def root_output(self, name: str) -> np.ndarray:
+        """Rows of an output buffer at this request's roots."""
+        return self.outputs[name]
+
+
+class RequestHandle:
+    """Future-like handle for one submitted request."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result: Optional[RequestResult] = None
+        self._exception: Optional[BaseException] = None
+
+    # -- completion (server side) -----------------------------------------
+    def set_result(self, result: RequestResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    # -- consumption (caller side) -----------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> RequestResult:
+        """Block until the request's flush completes; raise its failure.
+
+        With the synchronous server, call :meth:`ModelServer.flush` /
+        ``drain`` first — nothing completes handles until a flush runs.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s")
+        return self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("failed" if self._exception is not None
+                 else "done" if self.done() else "pending")
+        return f"RequestHandle(id={self.request_id}, {state})"
+
+
+@dataclass
+class Request:
+    """One queued inference request (server-internal bookkeeping)."""
+
+    request_id: int
+    roots: List[Node]
+    #: distinct nodes reachable from ``roots``; 0 when the scheduler's
+    #: policy doesn't consult node counts (the traversal is skipped)
+    num_nodes: int
+    #: ``time.perf_counter()`` at admission (deadline / latency accounting)
+    submit_t: float
+    #: created in ``__post_init__`` when not supplied
+    handle: Optional[RequestHandle] = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.handle is None:
+            self.handle = RequestHandle(self.request_id)
+        if not self.roots:
+            raise ServingError("request needs at least one root")

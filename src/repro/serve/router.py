@@ -1,0 +1,107 @@
+"""Multi-model serving: one router, many named model servers.
+
+A deployment rarely serves a single model; the :class:`Router` keys
+independent :class:`~repro.serve.ModelServer` instances by name and fans
+``submit`` calls out to the right one.  Each server keeps its own
+scheduler, arena and metrics — models never share workspace — so the
+router is thin by design: registration, dispatch, lifecycle, and an
+aggregated metrics view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Union
+
+from ..linearizer import Node
+from .request import RequestHandle
+from .server import ModelServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..api import CortexModel
+
+
+class Router:
+    """Name-keyed dispatch over independent model servers."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, ModelServer] = {}
+
+    # -- registration ------------------------------------------------------
+    def add_model(self, name: str,
+                  model: Union["CortexModel", ModelServer],
+                  **server_kw) -> ModelServer:
+        """Register a model (wrapped in a new server) or a ready server."""
+        if name in self._servers:
+            raise KeyError(f"model {name!r} already registered")
+        if isinstance(model, ModelServer):
+            if server_kw:
+                raise TypeError("server_kw only applies when registering a "
+                                "CortexModel, not a ready ModelServer")
+            server = model
+        else:
+            server = ModelServer(model, **server_kw)
+        self._servers[name] = server
+        return server
+
+    def remove_model(self, name: str) -> None:
+        self.server(name).stop()
+        del self._servers[name]
+
+    def server(self, name: str) -> ModelServer:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise KeyError(f"unknown model {name!r}; "
+                           f"serving: {sorted(self._servers)}")
+
+    def __getitem__(self, name: str) -> ModelServer:
+        return self.server(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servers
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._servers)
+
+    @property
+    def names(self) -> Sequence[str]:
+        return sorted(self._servers)
+
+    # -- dispatch ----------------------------------------------------------
+    def submit(self, name: str,
+               roots: Union[Node, Sequence[Node]]) -> RequestHandle:
+        return self.server(name).submit(roots)
+
+    def flush(self, name: Optional[str] = None) -> int:
+        """Flush one model's queue, or every model's when ``name`` is None."""
+        if name is not None:
+            return self.server(name).flush()
+        return sum(s.flush() for s in self._servers.values())
+
+    def drain(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return self.server(name).drain()
+        return sum(s.drain() for s in self._servers.values())
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "Router":
+        for server in self._servers.values():
+            if not server.running:
+                server.start()
+        return self
+
+    def stop(self) -> None:
+        for server in self._servers.values():
+            server.stop()
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- observability -----------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Per-model metrics, keyed like :meth:`submit`."""
+        return {name: server.metrics_snapshot()
+                for name, server in self._servers.items()}

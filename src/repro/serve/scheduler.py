@@ -1,0 +1,218 @@
+"""Request scheduler: flush policies, FIFO queue, admission control.
+
+The scheduler decides *when* the server coalesces its pending requests into
+one mega-batch (the flush) and *how many* of them ride in it.  Policies are
+pluggable and composable:
+
+* :class:`MaxPendingRequests` — flush once N requests are queued (and cap a
+  flush at N requests);
+* :class:`MaxTotalNodes` — flush once the queued structures total N nodes
+  (and cap a flush at the node budget), bounding workspace size;
+* :class:`Deadline` — flush once the oldest request has waited D ms,
+  bounding tail latency under light traffic;
+* :class:`AnyOf` — flush when any constituent fires (``a | b`` sugar).
+
+Admission control is a hard bound on queued requests: :meth:`Scheduler
+.offer` refuses beyond ``max_queue``, which the server surfaces as
+:class:`~repro.errors.QueueFullError` backpressure to callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from ..errors import ServingError
+from .request import Request
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """What a flush policy sees: the pending queue, summarized."""
+
+    num_requests: int
+    num_nodes: int
+    oldest_age_s: float
+
+
+class FlushPolicy:
+    """When to flush the queue, and how much of its FIFO prefix to take."""
+
+    #: does this policy consult per-request node counts?  When False the
+    #: server skips the O(nodes) structure traversal on every submit and
+    #: queue snapshots report ``num_nodes`` as 0.
+    uses_node_counts: bool = False
+
+    def should_flush(self, snap: QueueSnapshot) -> bool:
+        raise NotImplementedError
+
+    def take(self, requests: Sequence[Request]) -> int:
+        """How many of the queued requests (FIFO prefix) one flush serves.
+
+        Always at least 1 when the queue is non-empty: a single request
+        larger than a budget must still be servable.
+        """
+        return len(requests)
+
+    def __or__(self, other: "FlushPolicy") -> "AnyOf":
+        return AnyOf(self, other)
+
+
+class MaxPendingRequests(FlushPolicy):
+    """Flush when ``limit`` requests are pending; at most ``limit`` each."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ServingError("MaxPendingRequests limit must be >= 1")
+        self.limit = limit
+
+    def should_flush(self, snap: QueueSnapshot) -> bool:
+        return snap.num_requests >= self.limit
+
+    def take(self, requests: Sequence[Request]) -> int:
+        return min(len(requests), self.limit)
+
+    def __repr__(self) -> str:
+        return f"MaxPendingRequests({self.limit})"
+
+
+class MaxTotalNodes(FlushPolicy):
+    """Flush when pending structures total ``limit`` nodes.
+
+    A flush takes the longest FIFO prefix within the node budget — but at
+    least one request, so an oversized single request still gets served.
+    """
+
+    uses_node_counts = True
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ServingError("MaxTotalNodes limit must be >= 1")
+        self.limit = limit
+
+    def should_flush(self, snap: QueueSnapshot) -> bool:
+        return snap.num_nodes >= self.limit
+
+    def take(self, requests: Sequence[Request]) -> int:
+        total = 0
+        for i, req in enumerate(requests):
+            total += req.num_nodes
+            if total > self.limit and i > 0:
+                return i
+        return len(requests)
+
+    def __repr__(self) -> str:
+        return f"MaxTotalNodes({self.limit})"
+
+
+class Deadline(FlushPolicy):
+    """Flush when the oldest pending request has waited ``ms`` milliseconds.
+
+    Bounds queueing latency under light traffic, where a count-based policy
+    alone would leave a lone request waiting forever.
+    """
+
+    def __init__(self, ms: float):
+        if ms < 0:
+            raise ServingError("Deadline must be >= 0 ms")
+        self.ms = float(ms)
+
+    def should_flush(self, snap: QueueSnapshot) -> bool:
+        return snap.num_requests > 0 and snap.oldest_age_s * 1e3 >= self.ms
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.ms}ms)"
+
+
+class AnyOf(FlushPolicy):
+    """Flush when any constituent policy fires; take the tightest cap."""
+
+    def __init__(self, *policies: FlushPolicy):
+        if not policies:
+            raise ServingError("AnyOf needs at least one policy")
+        self.policies = tuple(policies)
+        self.uses_node_counts = any(p.uses_node_counts for p in policies)
+
+    def should_flush(self, snap: QueueSnapshot) -> bool:
+        return any(p.should_flush(snap) for p in self.policies)
+
+    def take(self, requests: Sequence[Request]) -> int:
+        return min(p.take(requests) for p in self.policies)
+
+    def __repr__(self) -> str:
+        return " | ".join(map(repr, self.policies))
+
+
+def default_policy() -> FlushPolicy:
+    """The server default: batch up to 32 requests, wait at most 2 ms."""
+    return MaxPendingRequests(32) | Deadline(2.0)
+
+
+class Scheduler:
+    """FIFO request queue with a flush policy and bounded admission.
+
+    Thread-safe: the threaded server offers from caller threads while its
+    worker takes flush batches.  Execution itself (the arena, the
+    workspace) stays single-threaded — only the queue is shared.
+    """
+
+    def __init__(self, policy: Optional[FlushPolicy] = None,
+                 max_queue: int = 1024):
+        if max_queue < 1:
+            raise ServingError("max_queue must be >= 1")
+        self.policy = policy if policy is not None else default_policy()
+        self.max_queue = max_queue
+        self._q: Deque[Request] = deque()
+        self._nodes = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def pending_nodes(self) -> int:
+        """Queued structure nodes; 0 unless the policy tracks node counts."""
+        return self._nodes
+
+    # -- admission ---------------------------------------------------------
+    def offer(self, request: Request) -> bool:
+        """Queue a request; ``False`` when admission control refuses."""
+        with self._lock:
+            if len(self._q) >= self.max_queue:
+                return False
+            self._q.append(request)
+            self._nodes += request.num_nodes
+            return True
+
+    # -- flush decisions ---------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> QueueSnapshot:
+        with self._lock:
+            if not self._q:
+                return QueueSnapshot(0, 0, 0.0)
+            if now is None:
+                now = time.perf_counter()
+            return QueueSnapshot(
+                num_requests=len(self._q),
+                num_nodes=self._nodes,
+                oldest_age_s=max(0.0, now - self._q[0].submit_t))
+
+    def should_flush(self, now: Optional[float] = None) -> bool:
+        snap = self.snapshot(now)
+        return snap.num_requests > 0 and self.policy.should_flush(snap)
+
+    def take(self) -> List[Request]:
+        """Pop one flush's worth of requests (empty list when idle).
+
+        ``take`` does not re-check :meth:`should_flush` — a forced
+        ``server.flush()`` / ``drain()`` serves whatever is queued.
+        """
+        with self._lock:
+            if not self._q:
+                return []
+            n = max(1, min(self.policy.take(tuple(self._q)), len(self._q)))
+            out = [self._q.popleft() for _ in range(n)]
+            self._nodes -= sum(r.num_nodes for r in out)
+            return out

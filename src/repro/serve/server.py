@@ -1,0 +1,306 @@
+"""The model server: submit -> coalesce -> one host-plan launch -> scatter.
+
+:class:`ModelServer` is the serving front-end over a compiled
+:class:`~repro.api.CortexModel`.  Independent callers :meth:`~ModelServer
+.submit` root sets and immediately get future-like handles; the scheduler
+decides when the pending requests flush as one coalesced mega-batch through
+the model's precompiled :class:`~repro.runtime.plan.HostPlan` and workspace
+arena — so the per-call host work PR 1 hoisted to compile time is now also
+amortized *across callers*, not just across a single caller's stream.
+
+Two driving modes:
+
+* **synchronous** — ``submit()`` auto-flushes whenever the policy fires
+  (and ``flush()`` / ``drain()`` force it), all on the caller's thread;
+* **threaded** — ``start()`` (or ``with server:``) runs a worker thread
+  that owns every flush, so many producer threads can submit concurrently
+  while execution stays single-threaded (the arena is not thread-safe).
+
+Every flush is bit-identical to running each of its requests alone — the
+equivalence tests assert this across the model zoo and all flush policies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import (TYPE_CHECKING, Iterable, List, Optional, Sequence,
+                    Union)
+
+import numpy as np
+
+from ..errors import QueueFullError, ServingError
+from ..linearizer import Node, count_nodes
+from ..runtime.plan import execute_plan
+from .coalescer import coalesce, scatter
+from .metrics import ServerMetrics
+from .request import Request, RequestHandle, RequestResult
+from .scheduler import FlushPolicy, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..api import CortexModel
+    from ..runtime.device import Device
+
+
+class ModelServer:
+    """Cross-request dynamic batching over one compiled model.
+
+    Args:
+        model: the compiled model whose plan, params and arena serve
+            every flush.
+        policy: flush policy (default: 32 pending requests or 2 ms).
+        max_queue: admission bound; beyond it ``submit`` raises
+            :class:`~repro.errors.QueueFullError` (backpressure).
+        validate: ``"first"`` (structure-check the first flush, trust the
+            rest), ``"always"``, or ``"never"`` — as in ``run_many``.
+        outputs: buffer names to scatter back per request (default: the
+            model's output and state buffers).
+        device: optional simulated device; attaches per-flush simulated
+            time to every result.
+    """
+
+    def __init__(self, model: "CortexModel", *,
+                 policy: Optional[FlushPolicy] = None,
+                 max_queue: int = 1024,
+                 validate: str = "first",
+                 outputs: Optional[Sequence[str]] = None,
+                 device: Optional["Device"] = None,
+                 metrics_window: int = 4096,
+                 wake_interval_s: float = 0.001):
+        if validate not in ("first", "always", "never"):
+            raise ServingError(f"validate must be first/always/never, "
+                               f"not {validate!r}")
+        self.model = model
+        self.scheduler = Scheduler(policy, max_queue=max_queue)
+        self.metrics = ServerMetrics(window=metrics_window)
+        self.device = device
+        self._validate = validate
+        self._validated = False
+        self._outputs = (list(outputs) if outputs is not None
+                         else model.default_outputs())
+        self._wake_interval_s = wake_interval_s
+        self._req_counter = 0
+        self._counter_lock = threading.Lock()
+        #: serializes flush execution (arena + workspace are single-threaded)
+        self._flush_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = False
+        self._cond = threading.Condition()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, roots: Union[Node, Sequence[Node]]) -> RequestHandle:
+        """Queue one request; returns its handle immediately.
+
+        In synchronous mode the call also flushes when the policy fires, so
+        earlier callers' handles may complete during a later ``submit``.
+        Raises :class:`~repro.errors.QueueFullError` when admission control
+        refuses — callers should back off and retry (or drop).
+        """
+        root_list = [roots] if isinstance(roots, Node) else list(roots)
+        with self._counter_lock:
+            self._req_counter += 1
+            rid = self._req_counter
+        # the O(nodes) traversal is only paid when the policy consults
+        # node counts (MaxTotalNodes); otherwise submit stays O(1)
+        nodes = (count_nodes(root_list)
+                 if self.scheduler.policy.uses_node_counts else 0)
+        req = Request(request_id=rid, roots=root_list, num_nodes=nodes,
+                      submit_t=time.perf_counter())
+        if not self.scheduler.offer(req):
+            self.metrics.note_reject()
+            raise QueueFullError(
+                f"queue full ({self.scheduler.max_queue} pending); "
+                f"retry after a flush")
+        self.metrics.note_submit()
+        if self._thread is not None:
+            with self._cond:
+                self._cond.notify()
+        elif self.scheduler.should_flush():
+            self.flush()
+        return req.handle
+
+    # -- flushing ----------------------------------------------------------
+    def flush(self) -> int:
+        """Serve one policy-sized batch of pending requests.
+
+        Returns the number of requests served (0 when the queue is empty —
+        an empty flush is a no-op, not an error).  Failures are delivered
+        through the affected requests' handles, never raised here.
+        """
+        with self._flush_lock:
+            taken = self.scheduler.take()
+            if not taken:
+                return 0
+            self._execute_flush(taken)
+            return len(taken)
+
+    def drain(self) -> int:
+        """Flush until the queue is empty; returns total requests served."""
+        total = 0
+        while True:
+            n = self.flush()
+            if n == 0:
+                return total
+            total += n
+
+    def _execute_flush(self, taken: List[Request]) -> None:
+        model = self.model
+        flush_t = time.perf_counter()
+        # satellite: drain any buffers a prior run(reuse=True) left leased,
+        # so the arena's contents are deterministic between flushes
+        model.release()
+        try:
+            check = self._validate == "always" or (
+                self._validate == "first" and not self._validated)
+            linearizer = (model.lowered.linearizer if check
+                          else model.fast_linearizer())
+            batch = coalesce(taken, linearizer)
+            res = execute_plan(model.plan, batch.lin, model.params,
+                               device=self.device, arena=model.arena)
+            per_request = scatter(batch, res.workspace, self._outputs)
+            model.arena.release_many(res.arena_buffers)
+            if check:
+                self._validated = True
+        except Exception as exc:
+            if len(taken) > 1:
+                # isolate the culprit: one malformed request must not fail
+                # the co-batched requests that happened to ride with it
+                for req in taken:
+                    self._execute_flush([req])
+                return
+            self.metrics.note_flush(len(taken), 0, 0.0, (), failed=True)
+            taken[0].handle.set_exception(exc)
+            return
+        except BaseException:
+            # KeyboardInterrupt / SystemExit: fail the handles so no
+            # caller blocks forever, but let the interrupt propagate
+            for req in taken:
+                req.handle.set_exception(
+                    ServingError("flush interrupted"))
+            raise
+        done_t = time.perf_counter()
+        exec_s = done_t - flush_t
+        latencies = []
+        for req, outs in zip(taken, per_request):
+            latency = done_t - req.submit_t
+            latencies.append(latency)
+            req.handle.set_result(RequestResult(
+                request_id=req.request_id,
+                outputs=outs,
+                batch_requests=batch.num_requests,
+                batch_nodes=batch.num_nodes,
+                queue_time_s=flush_t - req.submit_t,
+                exec_time_s=exec_s,
+                latency_s=latency,
+                simulated_time_s=res.simulated_time_s))
+        self.metrics.note_flush(batch.num_requests, batch.num_nodes,
+                                exec_s, latencies)
+
+    # -- streaming ---------------------------------------------------------
+    def serve_forever(self, requests: Iterable[Union[Node, Sequence[Node]]]
+                      ) -> List[RequestHandle]:
+        """Drive a request stream to completion; returns all handles.
+
+        Submits every element of ``requests`` (applying backpressure by
+        flushing — or, in threaded mode, waiting — when the queue fills),
+        then drains the queue, so every returned handle is done.
+        """
+        handles: List[RequestHandle] = []
+        for roots in requests:
+            while True:
+                try:
+                    handles.append(self.submit(roots))
+                    break
+                except QueueFullError:
+                    if self._thread is not None:
+                        time.sleep(self._wake_interval_s)
+                    else:
+                        self.flush()
+        self.drain()
+        return handles
+
+    # -- threaded mode -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "ModelServer":
+        """Spawn the worker thread that owns flushing (async mode)."""
+        if self._thread is not None:
+            raise ServingError("server already started")
+        self._stop = False
+        self._thread = threading.Thread(target=self._worker,
+                                        name="cortex-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker; pending requests are drained before it exits."""
+        thread = self._thread
+        if thread is None:
+            return
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        thread.join()
+        self._thread = None
+        # a submit() racing with shutdown may have enqueued after the
+        # worker's final drain; serve those here so no handle hangs
+        self.drain()
+
+    def _worker(self) -> None:
+        while not self._stop:
+            if self.scheduler.should_flush():
+                self.flush()
+            else:
+                with self._cond:
+                    if not self._stop and not self.scheduler.should_flush():
+                        # empty queue: sleep until a submit/stop notifies;
+                        # with requests pending, poll so a Deadline policy
+                        # fires even without new arrivals
+                        self._cond.wait(self._wake_interval_s
+                                        if len(self.scheduler) else None)
+        self.drain()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- observability -----------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Throughput / latency / occupancy / arena counters, one dict."""
+        snap = self.metrics.snapshot(arena=self.model.arena)
+        snap["queue_depth"] = len(self.scheduler)
+        snap["queue_nodes"] = self.scheduler.pending_nodes
+        return snap
+
+    def self_check(self, requests: Sequence[Union[Node, Sequence[Node]]],
+                   *, raise_on_mismatch: bool = True) -> bool:
+        """Probe the bit-identity guarantee for *this* model configuration.
+
+        Coalesces ``requests`` into one mega-batch and compares every
+        request's root rows against running it alone.  The guarantee
+        rests on the kernels' GEMMs being batch-extent invariant, which
+        is a property of the weight shapes this model emits and of the
+        BLAS build — the model-zoo configurations are covered by the test
+        suite; call this once at deployment for anything exotic.
+        """
+        model = self.model
+        sets = [[r] if isinstance(r, Node) else list(r) for r in requests]
+        lin, id_sets = model.lowered.linearizer.coalesce(sets)
+        res = execute_plan(model.plan, lin, model.params)
+        for roots, ids in zip(sets, id_sets):
+            solo = model.run(roots)
+            solo_ids = [solo.lin.node_id(r) for r in roots]
+            for name in self._outputs:
+                if not np.array_equal(res.workspace[name][ids],
+                                      solo.workspace[name][solo_ids]):
+                    if raise_on_mismatch:
+                        raise ServingError(
+                            f"coalesced outputs for buffer {name!r} are "
+                            f"not bit-identical to per-request execution "
+                            f"on this BLAS/model configuration")
+                    return False
+        return True
