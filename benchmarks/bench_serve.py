@@ -30,6 +30,7 @@ import numpy as np
 from conftest import save_result
 from repro.bench import cortex_model, format_table, record_bench_json
 from repro.data import synthetic_treebank
+from repro.runtime.memory import ArenaStats
 from repro.serve import MaxPendingRequests
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -78,6 +79,11 @@ def _run():
         occupancy = {}
         for flush in FLUSH_SIZES:
             def served():
+                # the model comes from the shared session cache, so its
+                # arena counters span every earlier config/benchmark —
+                # reset per rep so the recorded hit rate measures this
+                # flush size alone
+                model.arena.stats = ArenaStats()
                 srv = model.server(policy=MaxPendingRequests(flush))
                 srv.serve_forever(requests)
                 occupancy[flush] = srv.metrics_snapshot()

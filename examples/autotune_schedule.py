@@ -9,6 +9,8 @@ but would not for the full TreeGRU (footnote 4 / Fig. 10c).
 Run:  python examples/autotune_schedule.py
 """
 
+import os
+
 import numpy as np
 
 from repro import compile_model
@@ -18,7 +20,7 @@ from repro.runtime import V100
 from repro.tune import grid_search
 
 VOCAB = 1000
-HIDDEN = 256
+HIDDEN = int(os.environ.get("REPRO_EXAMPLE_HIDDEN", "256"))
 
 
 def main() -> None:

@@ -8,16 +8,21 @@ outputs and the simulated latency breakdown.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import numpy as np
 
 from repro import compile_model
 from repro.data import synthetic_treebank
 from repro.runtime import V100
 
+#: the CI smoke lane runs every example at a small hidden size
+HIDDEN = int(os.environ.get("REPRO_EXAMPLE_HIDDEN", "256"))
+
 def main() -> None:
     # 1. compile: model zoo name + hidden size; the default schedule is the
     #    paper's full optimization stack
-    model = compile_model("treelstm", hidden=256, vocab=1000)
+    model = compile_model("treelstm", hidden=HIDDEN, vocab=1000)
 
     # 2. inputs: ten random parse trees with SST-like shape statistics
     trees = synthetic_treebank(10, vocab_size=1000,
@@ -29,7 +34,7 @@ def main() -> None:
     result = model.run(trees, device=V100)
 
     h_roots = result.root_output("rnn_h_ph")
-    print(f"root hidden states: {h_roots.shape}")          # (10, 256)
+    print(f"root hidden states: {h_roots.shape}")          # (10, HIDDEN)
     print(f"simulated latency:  {result.simulated_time_s * 1e3:.3f} ms")
     c = result.cost
     print(f"  kernel launches:  {c.kernel_launches}")

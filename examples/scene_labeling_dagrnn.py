@@ -10,6 +10,8 @@ specialization buys nothing because a grid has a single leaf (§7.3).
 Run:  python examples/scene_labeling_dagrnn.py
 """
 
+import os
+
 import numpy as np
 
 from repro import compile_model
@@ -20,7 +22,7 @@ from repro.ra.schedule import unroll
 from repro.runtime import V100
 
 GRID = 10
-HIDDEN = 256
+HIDDEN = int(os.environ.get("REPRO_EXAMPLE_HIDDEN", "256"))
 LABELS = 8  # terrain classes
 
 

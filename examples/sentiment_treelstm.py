@@ -10,6 +10,8 @@ the real system would have.
 Run:  python examples/sentiment_treelstm.py
 """
 
+import os
+
 import numpy as np
 
 from repro import compile_model
@@ -18,7 +20,7 @@ from repro.data import synthetic_treebank
 from repro.models import get_model
 from repro.runtime import V100
 
-HIDDEN = 256
+HIDDEN = int(os.environ.get("REPRO_EXAMPLE_HIDDEN", "256"))
 VOCAB = 1000
 CLASSES = 5  # SST's 5-way sentiment labels
 

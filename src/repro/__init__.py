@@ -6,16 +6,26 @@ Irregular Loops IR with its scheduling/compilation passes, data structure
 linearizers, code generation, simulated devices standing in for the paper's
 testbeds, and the baseline execution models it is evaluated against.
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+The compile front door is ``repro.compile(spec, CompileOptions(...))`` —
+an explicit, validated configuration driving the staged
+:class:`~repro.pipeline.CompilerPipeline`; ``compile_model`` remains as
+the legacy keyword shim.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record of every table and figure.
 """
 
-from . import api, data, ilir, ir, linearizer, models, ra, runtime, serve
-from .api import CortexModel, compile_model
+from . import api, data, ilir, ir, linearizer, models, options, ra, runtime, serve
+from .api import (CortexModel, ModelHandle, compile,  # noqa: A004 - the API
+                  compile_model)
 from .errors import CortexError
+from .options import (DEBUG, PAPER_HEADLINE, PRESETS, UNFUSED_ABLATION,
+                      CompileOptions, Validate)
+from .pipeline import CompilerPipeline, CompileReport, Session, StageRecord
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["api", "data", "ilir", "ir", "linearizer", "models", "ra",
-           "runtime", "serve", "CortexModel", "compile_model", "CortexError",
+__all__ = ["api", "data", "ilir", "ir", "linearizer", "models", "options",
+           "ra", "runtime", "serve", "CortexModel", "ModelHandle", "compile",
+           "compile_model", "CortexError", "CompileOptions", "Validate",
+           "PAPER_HEADLINE", "UNFUSED_ABLATION", "DEBUG", "PRESETS",
+           "CompilerPipeline", "CompileReport", "Session", "StageRecord",
            "__version__"]

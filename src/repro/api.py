@@ -1,16 +1,29 @@
-"""High-level convenience API: compile and run models in a few lines.
+"""High-level API: one compile front door, one model surface.
+
+Compilation is ``compile(spec, options)``: a model-zoo name (or
+:class:`~repro.models.registry.ModelSpec`) plus a frozen, validated
+:class:`~repro.options.CompileOptions` run through the staged
+:class:`~repro.pipeline.CompilerPipeline` (build -> schedule -> lower ->
+codegen -> plan).  ``compile_model(**legacy_kwargs)`` survives as a thin
+back-compat shim over the same pipeline.
 
 Example (the README quickstart)::
 
-    from repro import api
+    import repro
     from repro.data import synthetic_treebank
     from repro.runtime import V100
 
-    model = api.compile_model("treelstm", hidden=256, vocab=1000)
+    model = repro.compile("treelstm", hidden=256, vocab=1000)
     trees = synthetic_treebank(10, vocab_size=1000)
     result = model.run(trees, device=V100)
     print(result.root_output("rnn_h_ph").shape)   # (10, 256)
     print(result.simulated_time_s)                # simulated latency
+
+Every runnable model — the in-process :class:`CortexModel` and the
+artifact-deployed :class:`~repro.tools.artifact.DeployedModel` — exposes
+the same :class:`ModelHandle` surface: ``run`` / ``run_many`` /
+``server`` / ``default_outputs`` / ``release``.  Code written against
+the protocol serves equally from a fresh compile or a reloaded artifact.
 
 For repeated inference over a stream of input batches, use the amortized
 entry points: ``model.run(roots, reuse=True)`` recycles workspace buffers
@@ -23,24 +36,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
-                    Sequence, Union)
+                    Protocol, Sequence, Union, runtime_checkable)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pipeline import CompileReport, Session, StageHook
     from .serve import ModelServer
 
 import numpy as np
 
-from .errors import ScheduleError
 from .ilir.codegen.compiled import CompiledModule
 from .linearizer import Linearized, Linearizer, Node
-from .models.registry import ModelSpec, get_model
-from .ra import schedule as sched_mod
-from .ra.lowering import Lowered, lower
+from .models.registry import ModelSpec
+from .options import CompileOptions, Validate
+from .ra.lowering import Lowered
 from .ra.ops import Program
 from .runtime.device import Device
 from .runtime.executor import ExecutionResult
 from .runtime.memory import WorkspaceArena
 from .runtime.plan import HostPlan, execute_plan, get_host_plan
+
+#: accepted spellings for runtime validation knobs (see options.Validate)
+ValidateArg = Union[bool, str, Validate]
 
 
 @dataclass
@@ -63,26 +79,67 @@ class BatchResult:
         return self.outputs[name]
 
 
-@dataclass
-class CortexModel:
-    """A compiled model: program + generated code + host plan + parameters."""
+@runtime_checkable
+class ModelHandle(Protocol):
+    """The runnable-model surface shared across deployment forms.
 
-    spec: Optional[ModelSpec]
-    program: Program
+    Implemented by the in-process :class:`CortexModel` and the
+    artifact-deployed :class:`~repro.tools.artifact.DeployedModel`;
+    anything accepting a ``ModelHandle`` (routers, benchmark drivers)
+    works with both.
+
+    Note that :class:`~repro.serve.ModelServer` needs more than these
+    five methods — its flush loop reaches into the execution internals
+    (``lowered``, ``plan``, ``params``, ``arena``,
+    ``fast_linearizer()``).  Third-party handles should therefore derive
+    from :class:`RunnableModel`, which supplies the whole surface over
+    five attributes; the protocol exists for callers, not implementers.
+    """
+
+    def run(self, roots: Union[Node, Sequence[Node]], *,
+            device: Optional[Device] = None, reuse: bool = False,
+            validate: ValidateArg = True) -> ExecutionResult: ...
+
+    def run_many(self, batches: Iterable[Union[Node, Sequence[Node]]], *,
+                 device: Optional[Device] = None,
+                 outputs: Optional[Sequence[str]] = None,
+                 validate: ValidateArg = Validate.FIRST
+                 ) -> List[BatchResult]: ...
+
+    def server(self, **kw) -> "ModelServer": ...
+
+    def default_outputs(self) -> List[str]: ...
+
+    def release(self) -> None: ...
+
+
+class RunnableModel:
+    """Shared implementation of the :class:`ModelHandle` surface.
+
+    Subclasses provide the attributes ``lowered`` (module + linearizer),
+    ``compiled``, ``params``, ``plan`` and ``arena``, plus a call to
+    :meth:`_init_runtime` from their constructor; everything else —
+    execution, streaming, serving, workspace recycling — lives here once,
+    so the in-process and artifact-deployed models cannot drift apart.
+    """
+
     lowered: Lowered
     compiled: CompiledModule
     params: Dict[str, np.ndarray]
-    #: precompiled host launch plan (kernel partition, buffer recipes);
-    #: derived from the compiled module in ``__post_init__`` when omitted
-    plan: Optional[HostPlan] = None
-    #: workspace pool for ``reuse=True`` / ``run_many`` calls
-    arena: WorkspaceArena = field(default_factory=WorkspaceArena)
+    plan: Optional[HostPlan]
+    arena: WorkspaceArena
 
-    def __post_init__(self) -> None:
-        if self.plan is None:
-            self.plan = get_host_plan(self.lowered, self.compiled)
+    def _init_runtime(self) -> None:
         self._fast_linearizer: Optional[Linearizer] = None
         self._leased: List[np.ndarray] = []
+
+    def _check_device(self, device: Optional[Device]) -> None:
+        """Subclasses that cannot simulate latency raise here.
+
+        Called by every entry point that accepts ``device`` (``run``,
+        ``run_many``, ``server``), so a deployment form without a cost
+        model fails loudly instead of reporting wrong latencies.
+        """
 
     # -- linearization -------------------------------------------------------
     def fast_linearizer(self) -> Linearizer:
@@ -103,10 +160,10 @@ class CortexModel:
             + list(self.lowered.module.state_buffers)))
 
     def _linearize(self, roots: Union[Node, Sequence[Node]],
-                   validate: bool) -> Linearized:
+                   check: bool) -> Linearized:
         if isinstance(roots, Node):
             roots = [roots]
-        if validate:
+        if check:
             return self.lowered.linearizer(roots)
         return self.fast_linearizer()(roots)
 
@@ -129,18 +186,22 @@ class CortexModel:
     # -- execution -------------------------------------------------------------
     def run(self, roots: Union[Node, Sequence[Node]], *,
             device: Optional[Device] = None, reuse: bool = False,
-            validate: bool = True) -> ExecutionResult:
+            validate: ValidateArg = True) -> ExecutionResult:
         """Run one inference call through the precompiled host plan.
 
         With ``reuse=True`` workspace buffers come from the model's arena:
         the *previous* ``reuse`` call's buffers are reclaimed first, so a
         prior result's workspace must not be read after this returns (copy
         what you need, or use :meth:`run_many`, which copies for you).
-        ``validate=False`` additionally skips input re-validation — layout
-        and outputs are unchanged; only the structure checks of §3 are
-        amortized away.
+        ``validate`` takes the shared :class:`~repro.options.Validate`
+        convention (legacy booleans still accepted): anything but
+        ``Validate.NEVER`` / ``False`` structure-checks this call's input;
+        skipping only amortizes away the §3 checks — layout and outputs
+        are unchanged.
         """
-        lin = self._linearize(roots, validate)
+        self._check_device(device)
+        check = Validate.coerce(validate).checks_single_call
+        lin = self._linearize(roots, check)
         if not reuse:
             return execute_plan(self.plan, lin, self.params, device=device)
         self._recycle()
@@ -152,24 +213,23 @@ class CortexModel:
     def run_many(self, batches: Iterable[Union[Node, Sequence[Node]]], *,
                  device: Optional[Device] = None,
                  outputs: Optional[Sequence[str]] = None,
-                 validate: str = "first") -> List[BatchResult]:
+                 validate: ValidateArg = Validate.FIRST) -> List[BatchResult]:
         """Amortized streaming inference over a sequence of input batches.
 
         Plan setup, scalar templates and workspace buffers are shared across
         the whole stream; each step's root outputs are copied out before its
-        workspace is recycled, so results stay valid.  ``validate`` is
-        ``"first"`` (check the first batch's structure, trust the rest),
-        ``"always"``, or ``"never"``.
+        workspace is recycled, so results stay valid.  ``validate`` follows
+        the shared :class:`~repro.options.Validate` convention — the
+        ``"first"`` / ``"always"`` / ``"never"`` literals (and bools) are
+        still accepted.
         """
-        if validate not in ("first", "always", "never"):
-            raise ValueError(f"validate must be first/always/never, "
-                             f"not {validate!r}")
+        self._check_device(device)
+        mode = Validate.coerce(validate)
         names = (list(outputs) if outputs is not None
                  else self.default_outputs())
         results: List[BatchResult] = []
         for i, roots in enumerate(batches):
-            check = validate == "always" or (validate == "first" and i == 0)
-            lin = self._linearize(roots, check)
+            lin = self._linearize(roots, mode.checks_step(i))
             res = execute_plan(self.plan, lin, self.params, device=device,
                                arena=self.arena)
             # advanced indexing already yields fresh arrays (never views),
@@ -190,12 +250,16 @@ class CortexModel:
         The server coalesces many independent requests into single
         linearized mega-batches through this model's host plan and arena;
         keyword arguments (``policy``, ``max_queue``, ...) are forwarded to
-        the :class:`~repro.serve.ModelServer` constructor.
+        the :class:`~repro.serve.ModelServer` constructor.  Works for any
+        :class:`ModelHandle` — a freshly compiled model or a reloaded
+        artifact serve identically.
         """
+        self._check_device(kw.get("device"))
         from .serve import ModelServer
 
         return ModelServer(self, **kw)
 
+    # -- generated-code inspection --------------------------------------------
     @property
     def python_source(self) -> str:
         return self.lowered.module.python_source or ""
@@ -213,49 +277,90 @@ class CortexModel:
         return self.lowered.module.output_buffers
 
 
+@dataclass
+class CortexModel(RunnableModel):
+    """A compiled model: program + generated code + host plan + parameters."""
+
+    spec: Optional[ModelSpec]
+    program: Program
+    lowered: Lowered
+    compiled: CompiledModule
+    params: Dict[str, np.ndarray]
+    #: precompiled host launch plan (kernel partition, buffer recipes);
+    #: derived from the compiled module in ``__post_init__`` when omitted
+    plan: Optional[HostPlan] = None
+    #: workspace pool for ``reuse=True`` / ``run_many`` calls
+    arena: WorkspaceArena = field(default_factory=WorkspaceArena)
+    #: the validated configuration this model was compiled under (None for
+    #: hand-assembled models)
+    options: Optional[CompileOptions] = None
+    #: per-stage wall-time record of the compilation
+    report: Optional["CompileReport"] = None
+
+    def __post_init__(self) -> None:
+        if self.plan is None:
+            self.plan = get_host_plan(self.lowered, self.compiled)
+        self._init_runtime()
+
+
+def compile(model: Union[str, ModelSpec],
+            options: Optional[CompileOptions] = None, *,
+            hidden: Optional[int] = None, vocab: int = 1000,
+            params: Optional[Mapping[str, np.ndarray]] = None,
+            rng: Optional[np.random.Generator] = None,
+            session: Optional["Session"] = None,
+            on_stage: Optional["StageHook"] = None,
+            **build_kw) -> CortexModel:
+    """Compile one model from the zoo under explicit, validated options.
+
+    The front door of the compiler: ``options`` (default:
+    :data:`~repro.options.PAPER_HEADLINE`) is validated eagerly — illegal
+    combinations such as ``persistence=True, fusion="none"`` raise
+    :class:`~repro.errors.ScheduleError` before any work happens — and
+    then drives the staged :class:`~repro.pipeline.CompilerPipeline`
+    (build -> schedule -> lower -> codegen -> plan).  The returned model
+    carries ``options`` and a per-stage ``report``.
+
+    ``session`` routes the compile through a :class:`~repro.pipeline
+    .Session` cache (equal spec + options -> the same model object);
+    ``on_stage`` observes each pipeline stage as it completes.
+    """
+    if session is not None:
+        return session.compile(model, options, hidden=hidden, vocab=vocab,
+                               params=params, rng=rng, on_stage=on_stage,
+                               **build_kw)
+    from .pipeline import CompilerPipeline
+
+    return CompilerPipeline().compile(model, options, hidden=hidden,
+                                      vocab=vocab, params=params, rng=rng,
+                                      on_stage=on_stage, **build_kw)
+
+
 def compile_model(name: Union[str, ModelSpec], hidden: Optional[int] = None,
                   vocab: int = 1000, *,
                   fusion: str = "max", specialize: bool = True,
-                  dynamic_batch: bool = True, persistence: bool = True,
+                  dynamic_batch: bool = True,
+                  persistence: Optional[bool] = None,
                   unroll: bool = False, refactor: bool = False,
                   per_block: bool = False, rational_approx: bool = False,
                   dense_intermediates: bool = True,
                   rng: Optional[np.random.Generator] = None,
                   params: Optional[Mapping[str, np.ndarray]] = None,
                   **build_kw) -> CortexModel:
-    """Build, schedule, lower and codegen one model from the zoo.
+    """Legacy keyword front door; thin shim over :func:`compile`.
 
-    The default schedule is the paper's headline configuration: dynamic
-    batching + leaf specialization + maximal kernel fusion + model
-    persistence.  ``unroll`` / ``refactor`` correspond to §3.1's remaining
-    primitives (rejected for DAG models, as in the paper).
-
-    Besides the generated kernels, compilation derives the host execution
-    plan (kernel partition, buffer-shape recipes, scalar templates) so that
-    ``run()`` does no per-call host derivation.
+    The keywords map one-to-one onto :class:`~repro.options
+    .CompileOptions`, with one historical quirk kept for compatibility:
+    ``persistence`` defaults to "persist when fusion allows it", and an
+    *explicit* ``persistence=True`` under ``fusion="none"`` is demoted
+    with a ``DeprecationWarning`` instead of raising the way the options
+    constructor does.  New code should call ``compile(spec,
+    CompileOptions(...))``.
     """
-    spec = get_model(name) if isinstance(name, str) else name
-    h = hidden if hidden is not None else spec.hs
-    if spec.short_name == "dagrnn":
-        prog = spec.build(hidden=h, **build_kw)
-        model_params = params or spec.random_params(hidden=h, rng=rng, **build_kw)
-    else:
-        prog = spec.build(hidden=h, vocab=vocab, **build_kw)
-        model_params = params or spec.random_params(hidden=h, vocab=vocab,
-                                                    rng=rng, **build_kw)
-
-    s = prog.schedule
-    s.dynamic_batch = dynamic_batch
-    s.specialize = specialize
-    s.fusion = fusion
-    s.persistence = persistence and fusion == "max"
-    s.per_block = per_block
-    s.dense_intermediates = dense_intermediates
-    if unroll:
-        sched_mod.unroll(prog)
-    if refactor:
-        sched_mod.recursive_refactor(prog)
-    lowered = lower(prog, rational_approx=rational_approx)
-    compiled = CompiledModule(lowered.module)
-    return CortexModel(spec=spec, program=prog, lowered=lowered,
-                       compiled=compiled, params=dict(model_params))
+    opts = CompileOptions.from_legacy(
+        fusion=fusion, specialize=specialize, dynamic_batch=dynamic_batch,
+        persistence=persistence, unroll=unroll, refactor=refactor,
+        per_block=per_block, rational_approx=rational_approx,
+        dense_intermediates=dense_intermediates)
+    return compile(name, opts, hidden=hidden, vocab=vocab, rng=rng,
+                   params=params, **build_kw)

@@ -16,20 +16,24 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..api import CortexModel, compile_model
+from ..api import CortexModel
 from ..baselines import cavs_like, dynet_like, pytorch_like
 from ..baselines.pytorch_like import BaselineResult
 from ..data import (grid_dag_batch, perfect_binary_tree, synthetic_treebank)
 from ..linearizer import Node
 from ..models import get_model
 from ..models.sequential import make_sequence
+from ..options import CompileOptions
+from ..pipeline import Session
 from ..runtime.device import Device
 
 #: vocabulary used across benchmarks (kept modest so parameter tables fit
 #: the persistence budget, like the embedded-vocab setups the paper uses)
 BENCH_VOCAB = 1000
 
-_MODEL_CACHE: Dict[tuple, CortexModel] = {}
+#: compile cache shared by every benchmark in the process (equal model +
+#: schedule -> the same compiled model; compilation cost is never timed)
+_SESSION = Session()
 _INPUT_CACHE: Dict[tuple, list] = {}
 
 
@@ -55,17 +59,19 @@ def paper_inputs(model_name: str, batch_size: int, *,
 
 
 def cortex_model(model_name: str, hidden: int, **schedule) -> CortexModel:
-    """Compile (or fetch from cache) one Cortex model configuration."""
-    key = (model_name, hidden, tuple(sorted(schedule.items())))
-    if key not in _MODEL_CACHE:
-        kw = dict(schedule)
-        if model_name == "dagrnn":
-            _MODEL_CACHE[key] = compile_model(model_name, hidden=hidden,
-                                              num_cells=100 * 64, **kw)
-        else:
-            _MODEL_CACHE[key] = compile_model(model_name, hidden=hidden,
-                                              vocab=BENCH_VOCAB, **kw)
-    return _MODEL_CACHE[key]
+    """Compile (or fetch from the session cache) one model configuration.
+
+    ``schedule`` uses the legacy keyword conventions (``persistence``
+    auto-follows ``fusion`` when unspecified) and is normalized into a
+    :class:`~repro.options.CompileOptions`, whose stable ``cache_key``
+    keys the shared :class:`~repro.pipeline.Session`.
+    """
+    options = CompileOptions.from_legacy(warn=False, **schedule)
+    if model_name == "dagrnn":
+        return _SESSION.compile(model_name, options, hidden=hidden,
+                                num_cells=100 * 64)
+    return _SESSION.compile(model_name, options, hidden=hidden,
+                            vocab=BENCH_VOCAB)
 
 
 def cortex_latency_ms(model_name: str, hidden: int, batch_size: int,

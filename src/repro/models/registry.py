@@ -34,6 +34,35 @@ class ModelSpec:
     max_children: int = 2
     #: reference() returns tuples (h, c)/(h, M) for multi-state models
     multi_state: bool = False
+    #: build()/random_params() take a ``vocab`` argument (DAG-RNN's cells
+    #: carry per-node features instead of embedding lookups)
+    needs_vocab: bool = True
+
+    def build_args(self, hidden: Optional[int] = None, vocab: int = 1000,
+                   **build_kw) -> Dict[str, object]:
+        """Normalized keyword arguments for ``build``/``random_params``.
+
+        Centralizes the per-model conventions every caller used to
+        re-implement: ``hidden=None`` resolves to the paper's small size
+        (``hs``) and ``vocab`` is dropped for models that do not embed.
+        """
+        args: Dict[str, object] = dict(build_kw)
+        args["hidden"] = hidden if hidden is not None else self.hs
+        if self.needs_vocab:
+            args["vocab"] = vocab
+        return args
+
+    def build_program(self, hidden: Optional[int] = None, vocab: int = 1000,
+                      **build_kw) -> Program:
+        """Construct the RA program for one configuration."""
+        return self.build(**self.build_args(hidden, vocab, **build_kw))
+
+    def make_params(self, hidden: Optional[int] = None, vocab: int = 1000,
+                    rng: Optional[np.random.Generator] = None,
+                    **build_kw) -> Dict[str, np.ndarray]:
+        """Random parameters matching :meth:`build_program`'s shapes."""
+        return self.random_params(rng=rng,
+                                  **self.build_args(hidden, vocab, **build_kw))
 
     def reference_h(self, roots: Sequence[Node],
                     params: Dict[str, np.ndarray]) -> Dict[int, np.ndarray]:
@@ -84,7 +113,7 @@ MODELS: Dict[str, ModelSpec] = {
         name="DAG-RNN", short_name="dagrnn",
         build=dagrnn.build, random_params=dagrnn.random_params,
         reference=dagrnn.reference, outputs=("rnn",),
-        kind=StructureKind.DAG),
+        kind=StructureKind.DAG, needs_vocab=False),
     "seq_lstm": ModelSpec(
         name="Sequential LSTM", short_name="seq_lstm",
         build=sequential.build_lstm,

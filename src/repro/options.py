@@ -1,0 +1,281 @@
+"""The unified compilation configuration: :class:`CompileOptions`.
+
+One frozen, hashable object captures every schedule and codegen knob the
+compiler understands — the §3.1 recursion-scheduling primitives (dynamic
+batching, leaf specialization, fusion, persistence, unrolling, recursive
+refactoring, per-block GPU scheduling), the ILIR-level layout/codegen
+choices (dense intermediates, rational non-linearity approximation), and
+the bounds-verification strictness.  Invalid combinations raise
+:class:`~repro.errors.ScheduleError` *eagerly*, at construction — e.g.
+``persistence=True`` with ``fusion="none"`` is rejected instead of being
+silently coerced, because parameters can only stay on-chip while a single
+persistent kernel runs.
+
+Because the object is frozen and fully value-typed, :meth:`CompileOptions
+.cache_key` is a stable content hash (sha256 over the canonical field
+dict, independent of ``PYTHONHASHSEED`` and of the process) — the key the
+:class:`~repro.pipeline.Session` cache, artifact manifests and autotuners
+use to recognize "the same compilation" across calls and across machines.
+
+Presets name the configurations the paper's evaluation keeps reaching
+for::
+
+    PAPER_HEADLINE     dynamic batching + specialization + maximal fusion
+                       + model persistence (the Fig. 6/9 configuration)
+    UNFUSED_ABLATION   one kernel per operator per phase, no persistence
+                       (the "unfused" bar of Fig. 10a)
+    DEBUG              every transformation off — the most literal,
+                       single-stepping-friendly lowering
+
+Derive variants with :meth:`CompileOptions.with_`::
+
+    opts = PAPER_HEADLINE.with_(unroll=True, per_block=True)
+
+This module also hosts the shared :class:`Validate` enum unifying the
+runtime input-validation conventions (``run(validate=...)``,
+``run_many(validate=...)``, ``ModelServer(validate=...)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from .errors import ScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ra.ops import Program
+
+#: fields that must be plain bools (eager type validation)
+_BOOL_FIELDS = ("specialize", "dynamic_batch", "persistence", "unroll",
+                "refactor", "per_block", "rational_approx",
+                "dense_intermediates", "strict_bounds")
+
+#: bump when the meaning of a field changes, so old cache keys expire
+_CACHE_KEY_VERSION = 1
+
+
+class Validate(enum.Enum):
+    """Shared input-validation convention for every runtime entry point.
+
+    ``FIRST`` structure-checks the first call of a stream and trusts the
+    rest; ``ALWAYS`` checks every call; ``NEVER`` skips the §3 structure
+    checks entirely (layouts and outputs are unchanged either way).  The
+    old per-API spellings — ``True``/``False`` for single calls,
+    ``"first"``/``"always"``/``"never"`` for streams — are still accepted
+    everywhere and coerced through :meth:`coerce`.
+    """
+
+    FIRST = "first"
+    ALWAYS = "always"
+    NEVER = "never"
+
+    @classmethod
+    def coerce(cls, value: Union["Validate", str, bool]) -> "Validate":
+        """Normalize any accepted spelling; raises ``ValueError`` otherwise."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            return cls.ALWAYS if value else cls.NEVER
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise ValueError(
+            f"validate must be first/always/never (a Validate, one of the "
+            f"string literals, or a bool), not {value!r}")
+
+    @property
+    def checks_single_call(self) -> bool:
+        """Should a standalone ``run()`` call validate its input?"""
+        return self is not Validate.NEVER
+
+    def checks_step(self, index: int) -> bool:
+        """Should step ``index`` of a stream validate its input?"""
+        return self is Validate.ALWAYS or (self is Validate.FIRST
+                                           and index == 0)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every schedule/codegen knob of one compilation, validated eagerly.
+
+    The defaults are the paper's headline configuration (dynamic batching
+    + leaf specialization + maximal kernel fusion + model persistence).
+    Instances are immutable; build variants with :meth:`with_`.
+    """
+
+    #: kernel fusion level: "max" (one persistent fused kernel) or "none"
+    fusion: str = "max"
+    #: generate separate code versions for the leaf / interior branches
+    specialize: bool = True
+    #: batch independent nodes on the fly at linearization time
+    dynamic_batch: bool = True
+    #: persist model parameters in fast on-chip memory (requires fusion)
+    persistence: bool = True
+    #: process a node together with its children (trees/sequences only)
+    unroll: bool = False
+    #: move operators across the recursion backedge (trees/sequences only)
+    refactor: bool = False
+    #: one-node-per-thread-block GPU scheduling (TreeRNN-style, §7.4)
+    per_block: bool = False
+    #: replace transcendental non-linearities with rational approximations
+    rational_approx: bool = False
+    #: dense indexing of scratchpad intermediates (Fig. 5)
+    dense_intermediates: bool = True
+    #: fail compilation on bound checks the prover cannot eliminate
+    strict_bounds: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ScheduleError` on any illegal knob or combination.
+
+        Knob combinations (fusion levels, persistence-requires-fusion)
+        are judged by :meth:`CortexSchedule.validate` itself, so the two
+        layers cannot drift; structure-dependent restrictions
+        (unrolling/refactoring a DAG model) can only be checked against
+        a concrete program and are enforced by the pipeline's schedule
+        stage.
+        """
+        for name in _BOOL_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise ScheduleError(
+                    f"CompileOptions.{name} must be a bool, "
+                    f"got {value!r}")
+        from .ra.schedule import CortexSchedule
+
+        CortexSchedule(
+            dynamic_batch=self.dynamic_batch, specialize=self.specialize,
+            fusion=self.fusion, persistence=self.persistence,
+            unroll=self.unroll, refactor=self.refactor,
+            per_block=self.per_block,
+            dense_intermediates=self.dense_intermediates).validate()
+
+    # -- derivation --------------------------------------------------------
+    def with_(self, **updates) -> "CompileOptions":
+        """A copy with fields replaced; the result is re-validated."""
+        return dataclasses.replace(self, **updates)
+
+    @classmethod
+    def from_legacy(cls, *, persistence: Optional[bool] = None,
+                    warn: bool = True, **knobs) -> "CompileOptions":
+        """Map ``compile_model``-era keyword conventions onto options.
+
+        The legacy signature treated ``persistence=True`` as "persist if
+        possible" and silently demoted it under ``fusion='none'``.  Here
+        ``persistence=None`` means that auto behavior; an *explicit*
+        ``True`` that must be demoted triggers a ``DeprecationWarning``
+        (unless ``warn=False``) instead of raising like the constructor.
+        """
+        fusion = knobs.get("fusion", "max")
+        if persistence is None:
+            persistence = fusion == "max"
+        elif persistence and fusion != "max":
+            if warn:
+                warnings.warn(
+                    "compile_model(persistence=True, fusion=...) silently "
+                    "disables persistence; this coercion is deprecated — "
+                    "use compile(spec, CompileOptions(...)), which rejects "
+                    "the combination eagerly", DeprecationWarning,
+                    stacklevel=3)
+            persistence = False
+        return cls(persistence=persistence, **knobs)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-serializable field dict (artifact manifests)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompileOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        Raises :class:`ScheduleError` so callers reloading artifacts see
+        one exception family for "this config cannot be reconstructed".
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScheduleError(
+                f"unknown CompileOptions fields {unknown}; this artifact "
+                f"was produced by an incompatible compiler version")
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Stable content hash of this configuration.
+
+        Identical options produce identical keys in every process and on
+        every machine (sha256 over the canonical JSON encoding — no
+        dependence on ``PYTHONHASHSEED`` or field declaration order), so
+        the key is safe to embed in artifact manifests and on-disk caches.
+        """
+        payload = {"v": _CACHE_KEY_VERSION}
+        payload.update(self.to_dict())
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    # -- application -------------------------------------------------------
+    def apply(self, prog: "Program") -> None:
+        """Imprint these options onto a program's schedule (§3.1).
+
+        Plain knobs are written to the :class:`~repro.ra.schedule
+        .CortexSchedule`; ``unroll``/``refactor`` go through the actual
+        scheduling primitives so their structure restrictions (DAG models)
+        raise exactly as a hand-written schedule would.  The schedule is
+        re-validated afterwards, so no illegal state survives compilation.
+        """
+        from .ra import schedule as sched_mod
+
+        s = prog.schedule
+        s.dynamic_batch = self.dynamic_batch
+        s.specialize = self.specialize
+        s.fusion = self.fusion
+        s.persistence = self.persistence
+        s.per_block = self.per_block
+        s.dense_intermediates = self.dense_intermediates
+        if self.unroll:
+            sched_mod.unroll(prog)
+        if self.refactor:
+            sched_mod.recursive_refactor(prog)
+        s.validate()
+
+    def summary(self) -> str:
+        """Compact one-line rendering (benchmark tables, logs)."""
+        on = [f.name for f in dataclasses.fields(self)
+              if getattr(self, f.name) is True]
+        return f"fusion={self.fusion} " + (" ".join(sorted(on)) or "(bare)")
+
+
+#: the paper's headline schedule: Fig. 6 / Fig. 9 configuration
+PAPER_HEADLINE = CompileOptions()
+
+#: the "unfused" ablation bar of Fig. 10a
+UNFUSED_ABLATION = CompileOptions(fusion="none", persistence=False,
+                                  dense_intermediates=False)
+
+#: everything off: the most literal lowering, for single-stepping kernels
+DEBUG = CompileOptions(fusion="none", specialize=False, dynamic_batch=False,
+                       persistence=False, dense_intermediates=False)
+
+#: name -> options, for CLIs and config files
+PRESETS: Dict[str, CompileOptions] = {
+    "paper_headline": PAPER_HEADLINE,
+    "unfused_ablation": UNFUSED_ABLATION,
+    "debug": DEBUG,
+}
+
+# ergonomic aliases: CompileOptions.PAPER_HEADLINE etc. (class attributes
+# on a frozen dataclass are assignable; only instances are immutable)
+CompileOptions.PAPER_HEADLINE = PAPER_HEADLINE  # type: ignore[attr-defined]
+CompileOptions.UNFUSED_ABLATION = UNFUSED_ABLATION  # type: ignore[attr-defined]
+CompileOptions.DEBUG = DEBUG  # type: ignore[attr-defined]

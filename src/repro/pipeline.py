@@ -1,0 +1,238 @@
+"""The staged compiler pipeline and the compile-cache session.
+
+:class:`CompilerPipeline` is the explicit form of what ``compile_model``
+used to do monolithically: **build** the RA program from a model spec,
+**schedule** it (imprint :class:`~repro.options.CompileOptions` through
+the §3.1 primitives and validate), **lower** recursion to loops, run
+**codegen** (both Python kernel flavors + the C rendering), and derive
+the host launch **plan**.  Each stage is timed into a
+:class:`StageRecord`; ``on_stage`` hooks observe stages as they finish —
+the introspection autotuners, servers and CI want from a compiler front
+door (cf. Relay/TVM's pass-pipeline design).
+
+:class:`Session` caches compiled models by ``(model spec, resolved build
+arguments, options.cache_key())`` so routers, benchmark harnesses and
+grid-search autotuners stop recompiling identical configurations — a
+cache hit returns the *same* :class:`~repro.api.CortexModel` object, so
+its host plan and workspace arena are shared too.  Compilation requests
+that carry caller-supplied parameters or an RNG bypass the cache (their
+results are not functions of the key alone).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, List, Mapping, Optional, Tuple,
+                    Union)
+
+import numpy as np
+
+from .api import CortexModel
+from .ilir.codegen.compiled import CompiledModule
+from .models.registry import ModelSpec, get_model
+from .options import CompileOptions
+from .ra.lowering import lower, run_codegen
+from .runtime.plan import get_host_plan
+
+#: stage names, in execution order
+STAGES = ("build", "schedule", "lower", "codegen", "plan")
+
+#: hook signature: called after a stage completes
+StageHook = Callable[["StageRecord"], None]
+
+
+def _resolve_options(options: Optional[CompileOptions]) -> CompileOptions:
+    if options is None:
+        return CompileOptions()
+    if not isinstance(options, CompileOptions):
+        # catch compile(name, 64) — the legacy second positional was
+        # hidden= — with a clear error instead of a deep AttributeError
+        raise TypeError(
+            f"options must be a CompileOptions, got {options!r}; "
+            f"the hidden size is a keyword argument (hidden={options!r})")
+    return options
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One completed pipeline stage: name + wall time."""
+
+    stage: str
+    wall_time_s: float
+
+
+@dataclass
+class CompileReport:
+    """Per-stage wall-time record of one compilation."""
+
+    model: str
+    options: CompileOptions
+    stages: List[StageRecord] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.wall_time_s for r in self.stages)
+
+    def stage_time_s(self, stage: str) -> float:
+        for r in self.stages:
+            if r.stage == stage:
+                return r.wall_time_s
+        raise KeyError(f"no stage {stage!r}; recorded: "
+                       f"{[r.stage for r in self.stages]}")
+
+    def summary(self) -> str:
+        parts = [f"{r.stage} {r.wall_time_s * 1e3:.2f}ms"
+                 for r in self.stages]
+        return (f"compiled {self.model} [{self.options.summary()}] in "
+                f"{self.total_s * 1e3:.2f}ms: " + ", ".join(parts))
+
+
+class CompilerPipeline:
+    """The staged front door: spec + options -> compiled model.
+
+    ``on_stage`` (constructor-level, and/or per-call) observes every
+    :class:`StageRecord` as its stage finishes; ``compile_count`` tallies
+    full pipeline runs (the probe Session cache tests use).
+    """
+
+    stages = STAGES
+
+    def __init__(self, *, on_stage: Optional[StageHook] = None):
+        self.on_stage = on_stage
+        self.compile_count = 0
+
+    def compile(self, model: Union[str, ModelSpec],
+                options: Optional[CompileOptions] = None, *,
+                hidden: Optional[int] = None, vocab: int = 1000,
+                params: Optional[Mapping[str, np.ndarray]] = None,
+                rng: Optional[np.random.Generator] = None,
+                on_stage: Optional[StageHook] = None,
+                **build_kw) -> CortexModel:
+        """Run every stage; returns the model with its report attached."""
+        spec = get_model(model) if isinstance(model, str) else model
+        opts = _resolve_options(options)
+        opts.validate()
+        hooks = [h for h in (self.on_stage, on_stage) if h is not None]
+        report = CompileReport(model=spec.short_name, options=opts)
+
+        def finish(stage: str, t0: float) -> None:
+            record = StageRecord(stage, time.perf_counter() - t0)
+            report.stages.append(record)
+            for hook in hooks:
+                hook(record)
+
+        t0 = time.perf_counter()
+        prog = spec.build_program(hidden, vocab, **build_kw)
+        model_params = (dict(params) if params is not None
+                        else spec.make_params(hidden, vocab, rng=rng,
+                                              **build_kw))
+        finish("build", t0)
+
+        t0 = time.perf_counter()
+        opts.apply(prog)
+        finish("schedule", t0)
+
+        t0 = time.perf_counter()
+        lowered = lower(prog, rational_approx=opts.rational_approx,
+                        strict_bounds=opts.strict_bounds, codegen=False)
+        finish("lower", t0)
+
+        t0 = time.perf_counter()
+        run_codegen(lowered.module)
+        finish("codegen", t0)
+
+        t0 = time.perf_counter()
+        compiled = CompiledModule(lowered.module)
+        plan = get_host_plan(lowered, compiled)
+        finish("plan", t0)
+
+        self.compile_count += 1
+        return CortexModel(spec=spec, program=prog, lowered=lowered,
+                           compiled=compiled, params=model_params,
+                           plan=plan, options=opts, report=report)
+
+
+@dataclass
+class SessionStats:
+    """Cache accounting for one :class:`Session`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: compiles that bypassed the cache (caller-supplied params/rng)
+    bypasses: int = 0
+
+    @property
+    def compiles(self) -> int:
+        return self.misses + self.bypasses
+
+
+class Session:
+    """A compile cache: equal ``(spec, args, options)`` -> same model.
+
+    The cache key is ``(model short name, resolved build arguments,
+    options.cache_key())`` — :meth:`CompileOptions.cache_key` is a stable
+    content hash, so two *equal* options objects hit the same entry.  A
+    hit returns the identical :class:`CortexModel` object (plan and arena
+    included); callers that mutate a compiled model should compile
+    outside a session or :meth:`clear` it.
+    """
+
+    def __init__(self, pipeline: Optional[CompilerPipeline] = None):
+        self.pipeline = pipeline if pipeline is not None else CompilerPipeline()
+        self.stats = SessionStats()
+        self._cache: Dict[Tuple, CortexModel] = {}
+
+    def compile(self, model: Union[str, ModelSpec],
+                options: Optional[CompileOptions] = None, *,
+                hidden: Optional[int] = None, vocab: int = 1000,
+                params: Optional[Mapping[str, np.ndarray]] = None,
+                rng: Optional[np.random.Generator] = None,
+                on_stage: Optional[StageHook] = None,
+                **build_kw) -> CortexModel:
+        """Compile through the cache (or straight through, for params/rng).
+
+        ``on_stage`` observes pipeline stages exactly as in
+        :meth:`CompilerPipeline.compile`; a cache hit runs no stages, so
+        the hook fires only when compilation actually happens.
+        """
+        spec = get_model(model) if isinstance(model, str) else model
+        opts = _resolve_options(options)
+        if params is not None or rng is not None:
+            self.stats.bypasses += 1
+            return self.pipeline.compile(spec, opts, hidden=hidden,
+                                         vocab=vocab, params=params, rng=rng,
+                                         on_stage=on_stage, **build_kw)
+        key = self._key(spec, opts, hidden, vocab, build_kw)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        compiled = self.pipeline.compile(spec, opts, hidden=hidden,
+                                         vocab=vocab, on_stage=on_stage,
+                                         **build_kw)
+        self.stats.misses += 1
+        self._cache[key] = compiled
+        return compiled
+
+    @staticmethod
+    def _key(spec: ModelSpec, opts: CompileOptions, hidden: Optional[int],
+             vocab: int, build_kw: Dict[str, object]) -> Tuple:
+        # the spec itself keys the entry (a frozen dataclass hashing its
+        # build/params callables), so a custom spec reusing a zoo
+        # short_name can never collide with the zoo model; build args are
+        # resolved so hidden=None and hidden=spec.hs share an entry (and
+        # vocab drops out for models that never embed)
+        args = spec.build_args(hidden, vocab, **build_kw)
+        return (spec, tuple(sorted(args.items())), opts.cache_key())
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"entries": len(self._cache), "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "bypasses": self.stats.bypasses}

@@ -70,9 +70,32 @@ class Lowered:
         return self.module.python_source or ""
 
 
+def run_codegen(module: ILModule) -> ILModule:
+    """Generate the module's kernel sources (both Python flavors + C).
+
+    Split out of :func:`lower` so the staged pipeline can time and hook
+    code generation as its own stage; ``lower(..., codegen=False)``
+    followed by ``run_codegen`` is exactly ``lower(...)``.
+    """
+    from ..ilir.codegen.c_codegen import module_to_c
+    from ..ilir.codegen.python_codegen import (generate_python,
+                                               generate_python_fast)
+
+    generate_python(module)
+    generate_python_fast(module)
+    module.c_source = module_to_c(module)
+    return module
+
+
 def lower(prog: Program, schedule: Optional[CortexSchedule] = None,
-          *, rational_approx: bool = False, strict_bounds: bool = False) -> Lowered:
-    """Lower a finalized RA program according to its schedule."""
+          *, rational_approx: bool = False, strict_bounds: bool = False,
+          codegen: bool = True) -> Lowered:
+    """Lower a finalized RA program according to its schedule.
+
+    With ``codegen=False`` the module is lowered and verified but carries
+    no generated sources yet; call :func:`run_codegen` on the module to
+    produce them (the staged pipeline does this to record per-stage time).
+    """
     prog.finalize()
     sched = schedule or prog.schedule
     sched.validate()
@@ -96,13 +119,8 @@ def lower(prog: Program, schedule: Optional[CortexSchedule] = None,
 
     assert_well_formed(module)
 
-    from ..ilir.codegen.python_codegen import (generate_python,
-                                               generate_python_fast)
-    from ..ilir.codegen.c_codegen import module_to_c
-
-    generate_python(module)
-    generate_python_fast(module)
-    module.c_source = module_to_c(module)
+    if codegen:
+        run_codegen(module)
 
     linearizer = Linearizer(prog.kind, prog.max_children,
                             dynamic_batch=sched.dynamic_batch,

@@ -37,6 +37,9 @@ class Operation:
         self.name = name
         self.output = output
         self.inputs = list(inputs)
+        #: owning program; set by Program._register so scheduling
+        #: primitives can resolve it without an active `with Program` block
+        self.program: Optional["Program"] = None
         output.op = self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -188,6 +191,7 @@ class Program:
             if out.name in self.tensors:
                 raise IRError(f"duplicate tensor name {out.name!r}")
             self.tensors[out.name] = out
+        op.program = self
         self.ops.append(op)
 
     def fresh(self, hint: str) -> str:

@@ -54,12 +54,20 @@ class CortexSchedule:
 
 
 def _prog_of(target: Union[Program, RATensor]) -> Program:
+    """The program owning ``target``.
+
+    Tensors resolve through their producing operation's program backref —
+    not through ``Program.current()`` — so the scheduling primitives work
+    outside a ``with Program(...)`` block and always mutate the program
+    the tensor actually belongs to, even when a different program is the
+    innermost active one.
+    """
     if isinstance(target, Program):
         return target
     op = target.op
-    if op is None:
+    if op is None or op.program is None:
         raise ScheduleError(f"tensor {target.name} is not part of a program")
-    return Program.current()
+    return op.program
 
 
 def dynamic_batch(target: Union[Program, RATensor]) -> None:
@@ -119,7 +127,8 @@ def persist(target: Union[Program, RATensor], enable: bool = True) -> None:
     """Persist model parameters in fast on-chip memory across iterations."""
     prog = _prog_of(target)
     prog.schedule.persistence = enable
-    prog.schedule.validate() if enable else None
+    if enable:
+        prog.schedule.validate()
 
 
 def per_block_schedule(target: Union[Program, RATensor], enable: bool = True) -> None:

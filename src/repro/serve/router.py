@@ -6,45 +6,129 @@ independent :class:`~repro.serve.ModelServer` instances by name and fans
 scheduler, arena and metrics — models never share workspace — so the
 router is thin by design: registration, dispatch, lifecycle, and an
 aggregated metrics view.
+
+Registration accepts anything implementing the :class:`~repro.api
+.ModelHandle` surface — a freshly compiled :class:`~repro.api
+.CortexModel` or an artifact-reloaded :class:`~repro.tools.artifact
+.DeployedModel` — and :meth:`Router.deploy` compiles by spec + options
+through the router's :class:`~repro.pipeline.Session`, so registering
+the same configuration twice (blue/green rollouts, per-tenant aliases)
+never recompiles.
 """
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Union
 
 from ..linearizer import Node
 from .request import RequestHandle
 from .server import ModelServer
 
+
+def _private_arena_view(model):
+    """A shallow view of ``model`` with its own workspace arena.
+
+    Compilation state (program, kernels, host plan, params) is shared;
+    the arena and lease bookkeeping are fresh, because arenas are
+    single-threaded and each server flushes independently.
+    """
+    from ..runtime.memory import WorkspaceArena
+
+    if dataclasses.is_dataclass(model):
+        # CortexModel: __post_init__ re-runs and resets the lease state
+        return dataclasses.replace(model, arena=WorkspaceArena())
+    view = copy.copy(model)
+    view.arena = WorkspaceArena()
+    view._init_runtime()
+    return view
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..api import CortexModel
+    from ..api import ModelHandle
+    from ..models.registry import ModelSpec
+    from ..options import CompileOptions
+    from ..pipeline import Session
 
 
 class Router:
-    """Name-keyed dispatch over independent model servers."""
+    """Name-keyed dispatch over independent model servers.
 
-    def __init__(self) -> None:
+    ``session`` (optional) is the compile cache :meth:`deploy` uses; pass
+    a shared :class:`~repro.pipeline.Session` to pool compiles across
+    routers, benchmarks and tuners.
+    """
+
+    def __init__(self, session: Optional["Session"] = None) -> None:
         self._servers: Dict[str, ModelServer] = {}
+        self._session = session
+
+    @property
+    def session(self) -> "Session":
+        """The router's compile cache (created lazily)."""
+        if self._session is None:
+            from ..pipeline import Session
+
+            self._session = Session()
+        return self._session
 
     # -- registration ------------------------------------------------------
     def add_model(self, name: str,
-                  model: Union["CortexModel", ModelServer],
+                  model: Union["ModelHandle", ModelServer],
                   **server_kw) -> ModelServer:
-        """Register a model (wrapped in a new server) or a ready server."""
+        """Register a model (wrapped in a new server) or a ready server.
+
+        Registering the *same model object* under a second name (the
+        natural outcome of :class:`~repro.pipeline.Session` cache hits)
+        wraps it in a private-arena view first — two servers must never
+        flush through one workspace arena.  Ready ``ModelServer``
+        instances are taken as-is; sharing a model across hand-built
+        servers is the caller's responsibility.
+        """
         if name in self._servers:
             raise KeyError(f"model {name!r} already registered")
         if isinstance(model, ModelServer):
             if server_kw:
                 raise TypeError("server_kw only applies when registering a "
-                                "CortexModel, not a ready ModelServer")
+                                "model, not a ready ModelServer")
             server = model
         else:
+            if any(s.model is model for s in self._servers.values()):
+                model = _private_arena_view(model)
             server = ModelServer(model, **server_kw)
         self._servers[name] = server
         return server
 
+    def deploy(self, name: str, model: Union[str, "ModelSpec"],
+               options: Optional["CompileOptions"] = None, *,
+               hidden: Optional[int] = None, vocab: int = 1000,
+               build_kw: Optional[dict] = None,
+               **server_kw) -> ModelServer:
+        """Compile (through the router's session cache) and register.
+
+        ``model`` is a zoo name or spec; ``options`` a
+        :class:`~repro.options.CompileOptions` (default: the paper
+        headline schedule).  Equal ``(spec, options)`` deployments under
+        different names share one *compilation* — program, generated
+        kernels, host plan — so multi-alias serving costs one compile;
+        each deployment still gets its own workspace arena (arenas are
+        single-threaded, and servers flush independently).
+        """
+        compiled = self.session.compile(model, options, hidden=hidden,
+                                        vocab=vocab, **(build_kw or {}))
+        return self.add_model(name, _private_arena_view(compiled),
+                              **server_kw)
+
     def remove_model(self, name: str) -> None:
-        self.server(name).stop()
+        """Unregister a model, serving whatever is still queued first.
+
+        ``stop()`` drains a threaded server on its way down but is a
+        no-op for one that was never started; the explicit ``drain()``
+        covers the synchronous case so no submitted handle is abandoned.
+        """
+        server = self.server(name)
+        server.stop()
+        server.drain()
         del self._servers[name]
 
     def server(self, name: str) -> ModelServer:

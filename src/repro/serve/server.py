@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from typing import (TYPE_CHECKING, Iterable, List, Optional, Sequence,
                     Union)
 
@@ -31,6 +32,7 @@ import numpy as np
 
 from ..errors import QueueFullError, ServingError
 from ..linearizer import Node, count_nodes
+from ..options import Validate
 from ..runtime.plan import execute_plan
 from .coalescer import coalesce, scatter
 from .metrics import ServerMetrics
@@ -38,7 +40,7 @@ from .request import Request, RequestHandle, RequestResult
 from .scheduler import FlushPolicy, Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..api import CortexModel
+    from ..api import ModelHandle
     from ..runtime.device import Device
 
 
@@ -51,30 +53,39 @@ class ModelServer:
         policy: flush policy (default: 32 pending requests or 2 ms).
         max_queue: admission bound; beyond it ``submit`` raises
             :class:`~repro.errors.QueueFullError` (backpressure).
-        validate: ``"first"`` (structure-check the first flush, trust the
-            rest), ``"always"``, or ``"never"`` — as in ``run_many``.
+        validate: the shared :class:`~repro.options.Validate` convention
+            (``Validate.FIRST`` structure-checks the first flush and
+            trusts the rest); the legacy ``"first"`` / ``"always"`` /
+            ``"never"`` literals are still accepted, as in ``run_many``.
         outputs: buffer names to scatter back per request (default: the
             model's output and state buffers).
         device: optional simulated device; attaches per-flush simulated
             time to every result.
     """
 
-    def __init__(self, model: "CortexModel", *,
+    def __init__(self, model: "ModelHandle", *,
                  policy: Optional[FlushPolicy] = None,
                  max_queue: int = 1024,
-                 validate: str = "first",
+                 validate: Union[str, bool, Validate] = Validate.FIRST,
                  outputs: Optional[Sequence[str]] = None,
                  device: Optional["Device"] = None,
                  metrics_window: int = 4096,
                  wake_interval_s: float = 0.001):
-        if validate not in ("first", "always", "never"):
-            raise ServingError(f"validate must be first/always/never, "
-                               f"not {validate!r}")
+        try:
+            self._validate = Validate.coerce(validate)
+        except ValueError as exc:
+            raise ServingError(str(exc)) from None
+        # deployment forms without a cost model (artifact reloads) veto
+        # simulated devices here too, not only in their server() wrapper,
+        # so direct ModelServer/Router construction cannot leak wrong
+        # latencies
+        check_device = getattr(model, "_check_device", None)
+        if check_device is not None:
+            check_device(device)
         self.model = model
         self.scheduler = Scheduler(policy, max_queue=max_queue)
         self.metrics = ServerMetrics(window=metrics_window)
         self.device = device
-        self._validate = validate
         self._validated = False
         self._outputs = (list(outputs) if outputs is not None
                          else model.default_outputs())
@@ -150,8 +161,8 @@ class ModelServer:
         # so the arena's contents are deterministic between flushes
         model.release()
         try:
-            check = self._validate == "always" or (
-                self._validate == "first" and not self._validated)
+            check = self._validate is Validate.ALWAYS or (
+                self._validate is Validate.FIRST and not self._validated)
             linearizer = (model.lowered.linearizer if check
                           else model.fast_linearizer())
             batch = coalesce(taken, linearizer)
@@ -220,6 +231,14 @@ class ModelServer:
         return handles
 
     # -- threaded mode -----------------------------------------------------
+    #: arenas owned by running servers (id(arena) -> weakref(server)).
+    #: Arenas are not thread-safe, and a Session cache hit hands the
+    #: *same* model — arena included — to several callers; this registry
+    #: turns "two worker threads flushing one arena" from silent
+    #: workspace corruption into an immediate error at start().
+    _arena_owners: dict = {}
+    _arena_owners_lock = threading.Lock()
+
     @property
     def running(self) -> bool:
         return self._thread is not None
@@ -228,6 +247,22 @@ class ModelServer:
         """Spawn the worker thread that owns flushing (async mode)."""
         if self._thread is not None:
             raise ServingError("server already started")
+        key = id(self.model.arena)
+        with ModelServer._arena_owners_lock:
+            ref = ModelServer._arena_owners.get(key)
+            owner = ref() if ref is not None else None
+            # admission is keyed on registry presence, not owner.running:
+            # stop() keeps its entry until the final drain has finished
+            # flushing through the arena, so checking `running` here
+            # would re-open the drain window the registry exists to close
+            if owner is not None and owner is not self:
+                raise ServingError(
+                    "this model's workspace arena is already owned by "
+                    "another server (Session cache hits return the same "
+                    "model object); serve one model from one server, or "
+                    "register aliases through Router, which builds "
+                    "private-arena views")
+            ModelServer._arena_owners[key] = weakref.ref(self)
         self._stop = False
         self._thread = threading.Thread(target=self._worker,
                                         name="cortex-serve", daemon=True)
@@ -247,6 +282,13 @@ class ModelServer:
         # a submit() racing with shutdown may have enqueued after the
         # worker's final drain; serve those here so no handle hangs
         self.drain()
+        # only now release arena ownership: the drain above still flushes
+        # through the arena, so a second server must not be admitted yet
+        key = id(self.model.arena)
+        with ModelServer._arena_owners_lock:
+            ref = ModelServer._arena_owners.get(key)
+            if ref is not None and ref() is self:
+                del ModelServer._arena_owners[key]
 
     def _worker(self) -> None:
         while not self._stop:
@@ -271,7 +313,10 @@ class ModelServer:
     # -- observability -----------------------------------------------------
     def metrics_snapshot(self) -> dict:
         """Throughput / latency / occupancy / arena counters, one dict."""
-        snap = self.metrics.snapshot(arena=self.model.arena)
+        # the arena is not thread-safe: serialize against flushes so a
+        # live scrape never iterates pool dicts the worker is mutating
+        with self._flush_lock:
+            snap = self.metrics.snapshot(arena=self.model.arena)
         snap["queue_depth"] = len(self.scheduler)
         snap["queue_nodes"] = self.scheduler.pending_nodes
         return snap

@@ -1,10 +1,19 @@
 """Compiled-model artifacts: save and reload without the compiler.
 
 ``save_model`` writes everything a serving process needs to *execute* a
-compiled model — the generated Python kernels, the parameters, and a JSON
+compiled model — the generated Python kernels, the parameters, a JSON
 manifest describing buffers, kernel launch order and linearizer
-configuration.  ``load_model`` reconstructs a runnable model from that
-directory without invoking the compiler.
+configuration, and ``options.json`` recording the exact
+:class:`~repro.options.CompileOptions` the model was compiled under
+(plus their stable ``cache_key``).  ``load_model`` reconstructs a
+runnable model from that directory without invoking the compiler.
+
+The reloaded :class:`DeployedModel` implements the same
+:class:`~repro.api.ModelHandle` surface as an in-process
+:class:`~repro.api.CortexModel` — ``run`` / ``run_many`` / ``server`` /
+``default_outputs`` / ``release`` — so the compile → save → serve loop
+closes: ``load_model(path).server()`` coalesces and serves bit-identically
+to a server over the original model.
 
 Deployed artifacts execute numerics only; simulated-latency estimation
 needs the full compiler session (operator nests are not serialized).
@@ -18,18 +27,23 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from ..api import CortexModel
-from ..errors import CortexError
+from ..api import CortexModel, RunnableModel
+from ..errors import CortexError, ExecutionError
 from ..ilir.buffer import ILBuffer
 from ..ilir.codegen.compiled import CompiledModule
 from ..ilir.module import HostStep, ILModule, Kernel
 from ..ir import Const, DimRegistry, Var, dtype_of
-from ..linearizer import Linearizer, Node, StructureKind
+from ..linearizer import Linearizer, StructureKind
+from ..options import CompileOptions
+from ..ra.lowering import Lowered
+from ..runtime.memory import WorkspaceArena
+from ..runtime.plan import get_host_plan
 
 MANIFEST = "manifest.json"
 SOURCE = "module.py"
 C_SOURCE = "module.c"
 PARAMS = "params.npz"
+OPTIONS = "options.json"
 
 #: symbolic shape extents the executor binds at run time
 _RUNTIME_VARS = {"num_nodes", "max_batch_len"}
@@ -55,6 +69,7 @@ def save_model(model: CortexModel, path: Union[str, Path]) -> Path:
     path.mkdir(parents=True, exist_ok=True)
     module = model.lowered.module
     lin = model.lowered.linearizer
+    options: Optional[CompileOptions] = getattr(model, "options", None)
 
     manifest = {
         "name": module.name,
@@ -74,37 +89,70 @@ def save_model(model: CortexModel, path: Union[str, Path]) -> Path:
             "dynamic_batch": lin.dynamic_batch,
             "specialize_leaves": lin.specialize_leaves,
         },
+        # the compile configuration travels in its own file; the manifest
+        # records the pointer and the stable content hash for cache lookups
+        "options_file": OPTIONS if options is not None else None,
+        "options_key": options.cache_key() if options is not None else None,
     }
     (path / MANIFEST).write_text(json.dumps(manifest, indent=2))
+    if options is not None:
+        (path / OPTIONS).write_text(json.dumps(
+            {"options": options.to_dict(),
+             "cache_key": options.cache_key()}, indent=2))
+    elif (path / OPTIONS).exists():
+        # re-used directory: a stale options.json from a previous save
+        # must not be attributed to this optionless model
+        (path / OPTIONS).unlink()
     (path / SOURCE).write_text(module.python_source or "")
     (path / C_SOURCE).write_text(module.c_source or "")
     np.savez(path / PARAMS, **model.params)
     return path
 
 
-class DeployedModel:
-    """A reloaded artifact: executable, but without the cost model."""
+class DeployedModel(RunnableModel):
+    """A reloaded artifact: the full runtime surface, without the compiler.
+
+    Shares :class:`~repro.api.RunnableModel` with the in-process model, so
+    ``run`` / ``run_many`` / ``server`` / ``release`` behave identically —
+    including workspace-arena pooling and cross-request coalescing.  Only
+    simulated-latency estimation is unavailable (no operator nests), so
+    ``run(device=...)`` raises.
+    """
 
     def __init__(self, module: ILModule, linearizer: Linearizer,
-                 params: Dict[str, np.ndarray]):
+                 params: Dict[str, np.ndarray],
+                 options: Optional[CompileOptions] = None):
         self.module = module
         self.linearizer = linearizer
-        self.params = params
+        self.params = dict(params)
+        #: the CompileOptions the artifact was compiled under (None for
+        #: artifacts written before options were recorded)
+        self.options = options
         self.compiled = CompiledModule(module)
+        self.lowered = Lowered(module=module, linearizer=linearizer)
+        self.plan = get_host_plan(self.lowered, self.compiled)
+        self.arena = WorkspaceArena()
+        self._init_runtime()
 
-    def run(self, roots: Union[Node, Sequence[Node]]):
-        from ..ra.lowering import Lowered
-        from ..runtime.executor import execute
-
-        if isinstance(roots, Node):
-            roots = [roots]
-        lin = self.linearizer(roots)
-        lowered = Lowered(module=self.module, linearizer=self.linearizer)
-        return execute(lowered, self.compiled, lin, self.params)
+    def _check_device(self, device) -> None:
+        # covers run, run_many AND server(device=...): with no operator
+        # nests the cost model would sum zero traffic and report a
+        # wildly wrong simulated latency instead of failing
+        if device is not None:
+            raise ExecutionError(
+                "deployed artifacts execute numerics only; simulated-latency "
+                "estimation needs the full compiler session (operator nests "
+                "are not serialized)")
 
 
 def load_model(path: Union[str, Path]) -> DeployedModel:
-    """Reconstruct a runnable model from an artifact directory."""
+    """Reconstruct a runnable model from an artifact directory.
+
+    Restores the exact :class:`~repro.options.CompileOptions` from
+    ``options.json`` when the artifact carries one, so the deployment
+    knows precisely which configuration it is serving (and its
+    ``cache_key`` matches the compiling process's).
+    """
     path = Path(path)
     manifest = json.loads((path / MANIFEST).read_text())
 
@@ -131,4 +179,13 @@ def load_model(path: Union[str, Path]) -> DeployedModel:
                             dynamic_batch=lcfg["dynamic_batch"],
                             specialize_leaves=lcfg["specialize_leaves"])
     params = dict(np.load(path / PARAMS))
-    return DeployedModel(module, linearizer, params)
+
+    options: Optional[CompileOptions] = None
+    # an explicit `options_file: null` means "saved without options";
+    # only manifests predating the key fall back to probing for the file
+    options_name = (manifest["options_file"] if "options_file" in manifest
+                    else OPTIONS)
+    if options_name and (path / options_name).exists():
+        payload = json.loads((path / options_name).read_text())
+        options = CompileOptions.from_dict(payload["options"])
+    return DeployedModel(module, linearizer, params, options=options)

@@ -17,10 +17,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..api import compile as compile_api
 from ..api import compile_model
 from ..baselines import cavs_like, dynet_like, pytorch_like
 from ..bench.harness import BENCH_VOCAB, format_table, paper_inputs
 from ..models import MODELS, get_model
+from ..options import PRESETS
 from ..runtime import breakdown_from_cost, get_device
 from ..tune import grid_search
 
@@ -50,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print kernel structure + memory placement (Fig. 8)")
     p.add_argument("--no-specialize", action="store_true")
     p.add_argument("--fusion", default="max", choices=["max", "none"])
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   help="compile under a named CompileOptions preset "
+                        "(overrides the schedule flags)")
 
     p = sub.add_parser("run", help="run a model and report simulated latency")
     _add_common(p)
@@ -76,21 +81,33 @@ def cmd_models() -> int:
     return 0
 
 
-def _compile(args, **extra):
+def _compile(args, options=None, **extra):
     spec = get_model(args.model)
     hidden = args.hidden or spec.hs
-    if args.model == "dagrnn":
-        return compile_model(args.model, hidden=hidden, **extra), hidden
+    # the registry drops `vocab` for models that never embed (dagrnn)
+    if options is not None:
+        return compile_api(args.model, options, hidden=hidden,
+                           vocab=BENCH_VOCAB), hidden
     return compile_model(args.model, hidden=hidden, vocab=BENCH_VOCAB,
                          **extra), hidden
 
 
 def cmd_compile(args) -> int:
-    model, hidden = _compile(args, specialize=not args.no_specialize,
-                             fusion=args.fusion,
-                             persistence=args.fusion == "max")
+    if getattr(args, "preset", None):
+        model, hidden = _compile(args, options=PRESETS[args.preset])
+    else:
+        model, hidden = _compile(args, specialize=not args.no_specialize,
+                                 fusion=args.fusion,
+                                 persistence=args.fusion == "max")
     mod = model.lowered.module
     print(f"compiled {args.model} (hidden={hidden})")
+    if model.options is not None:
+        print(f"  options: {model.options.summary()} "
+              f"[cache_key {model.options.cache_key()}]")
+    if model.report is not None:
+        stages = ", ".join(f"{r.stage} {r.wall_time_s * 1e3:.1f}ms"
+                           for r in model.report.stages)
+        print(f"  stages: {stages}")
     print(f"  kernels: {[(k.name, k.kind) for k in mod.kernels]}")
     print(f"  barriers/level: {mod.meta['barriers_per_level']}")
     checks = sum(r.checked for r in model.lowered.bounds.values())

@@ -20,10 +20,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..api import compile_model
 from ..errors import CortexError, ScheduleError
 from ..linearizer import Node
 from ..models.registry import get_model
+from ..options import CompileOptions
+from ..pipeline import Session
 from ..runtime.device import Device
 
 #: the default grid: every recursion-scheduling knob of §3.1
@@ -82,9 +83,20 @@ class TuningResult:
 def grid_search(model_name: str, hidden: int, roots: Sequence[Node],
                 device: Device, *, vocab: int = 1000,
                 space: Optional[Dict[str, Sequence]] = None,
+                session: Optional[Session] = None,
                 **build_kw) -> TuningResult:
-    """Exhaustive sweep of the schedule grid; ranks by simulated latency."""
+    """Exhaustive sweep of the schedule grid; ranks by simulated latency.
+
+    Every grid point becomes a validated :class:`~repro.options
+    .CompileOptions` compiled through a :class:`~repro.pipeline.Session`,
+    so a configuration revisited within one sweep compiles exactly once.
+    The default session lives for this call only (each trial's model —
+    params, sources, host plan — is reclaimable afterwards); pass a
+    shared ``session`` to also pool compiles across searches, e.g.
+    between a coarse and a refined sweep.
+    """
     spec = get_model(model_name)
+    session = session if session is not None else Session()
     space = dict(space or DEFAULT_SPACE)
     result = TuningResult(model=model_name, hidden=hidden, device=device.name)
     keys = list(space)
@@ -93,13 +105,9 @@ def grid_search(model_name: str, hidden: int, roots: Sequence[Node],
         if _obviously_redundant(config):
             continue
         try:
-            kw = dict(config)
-            if model_name == "dagrnn":
-                model = compile_model(model_name, hidden=hidden,
-                                      **kw, **build_kw)
-            else:
-                model = compile_model(model_name, hidden=hidden, vocab=vocab,
-                                      **kw, **build_kw)
+            options = CompileOptions(**config)
+            model = session.compile(spec, options, hidden=hidden,
+                                    vocab=vocab, **build_kw)
             res = model.run(roots, device=device)
             result.trials.append(Trial(config, res.simulated_time_s * 1e3))
         except ScheduleError as e:
