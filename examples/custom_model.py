@@ -1,100 +1,98 @@
-"""Defining a custom recursive model with the Recursive API.
+"""Author a never-seen recursive model declaratively, end to end.
 
-Walks through exactly what Listing 1 of the paper does: express a new
-recursive model (a gated TreeRNN variant that is not in the zoo) as a DAG
-of tensor operators, apply the scheduling primitives, lower it, inspect the
-generated code, and run it — the full workflow a framework developer
-targeting Cortex as a backend would use.
+The cell math below is the ONLY thing written by hand — a gated TreeRNN
+variant that is not in the zoo, expressed once as RA computes.  The
+framework derives everything the zoo models used to hand-maintain:
+parameter shapes + seeded initializers, a recursive reference evaluator
+(the RA interpreter — bit-faithful to the compiled kernels), and the
+registry metadata.  After ``register()`` the model flows through the same
+machinery as any zoo model: ``repro.compile``, serving with cross-request
+coalescing, and artifact export/reload.
 
 Run:  python examples/custom_model.py
 """
 
+import os
+import tempfile
+
 import numpy as np
 
-from repro.ilir.codegen.compiled import CompiledModule
+import repro
+from repro.authoring import model
+from repro.data import synthetic_treebank
 from repro.ir import reduce_axis, reduce_sum, sigmoid, tanh
-from repro.linearizer import StructureKind, tree_from_nested
-from repro.ra import (NUM_NODES, Program, dynamic_batch, isleaf, lower,
-                      persist, specialize_if_else)
-from repro.runtime import V100, run_model
+from repro.linearizer import StructureKind
+from repro.ra import NUM_NODES, isleaf
+from repro.tools.artifact import load_model, save_model
 
-H, V = 64, 200
+HIDDEN = int(os.environ.get("REPRO_EXAMPLE_HIDDEN", "64"))
+VOCAB = 200
 
 
-def build_gated_treernn() -> Program:
+@model("gated_treernn", kind=StructureKind.TREE, max_children=2,
+       hs=64, hl=128)
+def gated_treernn(p, hidden, vocab):
     """h(n) = g * tanh(W (h_l + h_r)) with g = sigmoid(Wg (h_l + h_r))."""
-    with Program("gated_treernn", StructureKind.TREE, max_children=2) as p:
-        Emb = p.input_tensor((V, H), "Emb")
-        W = p.input_tensor((H, H), "W")
-        Wg = p.input_tensor((H, H), "Wg")
-        ph = p.placeholder((NUM_NODES, H), "h_ph")
+    Emb = p.input_tensor((vocab, hidden), "Emb")
+    W = p.input_tensor((hidden, hidden), "W")
+    Wg = p.input_tensor((hidden, hidden), "Wg")
+    ph = p.placeholder((NUM_NODES, hidden), "h_ph")
 
-        # leaf case: embedding lookup (Listing 1, line 11)
-        leaf_h = p.compute((NUM_NODES, H), lambda n, i: Emb[n.word, i],
-                           "leaf_h")
-        # recursive case: children read through the placeholder
-        hsum = p.compute((NUM_NODES, H),
-                         lambda n, i: ph[n.left, i] + ph[n.right, i], "hsum")
+    leaf_h = p.compute((NUM_NODES, hidden), lambda n, i: Emb[n.word, i],
+                       "leaf_h")
+    hsum = p.compute((NUM_NODES, hidden),
+                     lambda n, i: ph[n.left, i] + ph[n.right, i], "hsum")
 
-        def mv(Wt, name):
-            def body(n, i):
-                k = reduce_axis(H, p.fresh("k"))
-                return reduce_sum(Wt[i, k.var] * hsum[n, k.var], k)
-            return p.compute((NUM_NODES, H), body, name)
+    def matvec(Wt, name):
+        def body(n, i):
+            k = reduce_axis(hidden, p.fresh("k"))
+            return reduce_sum(Wt[i, k.var] * hsum[n, k.var], k)
+        return p.compute((NUM_NODES, hidden), body, name)
 
-        mh = mv(W, "mh")
-        mg = mv(Wg, "mg")
-        rec_h = p.compute((NUM_NODES, H),
-                          lambda n, i: sigmoid(mg[n, i]) * tanh(mh[n, i]),
-                          "rec_h")
-        body = p.if_then_else((NUM_NODES, H),
-                              lambda n, i: (isleaf(n), leaf_h, rec_h),
-                              "body_h")
-        rnn = p.recursion_op(ph, body, "rnn")
-
-        # scheduling primitives (Listing 1, lines 25-26)
-        dynamic_batch(rnn)
-        specialize_if_else(body)
-        persist(p)
-    return p
-
-
-def reference(node, params):
-    if node.is_leaf:
-        return params["Emb"][node.word].astype(np.float32)
-    s = reference(node.left, params) + reference(node.right, params)
-    g = 1.0 / (1.0 + np.exp(-(params["Wg"] @ s)))
-    return (g * np.tanh(params["W"] @ s)).astype(np.float32)
+    rec_h = p.compute(
+        (NUM_NODES, hidden),
+        lambda n, i: sigmoid(matvec(Wg, "mg")[n, i])
+        * tanh(matvec(W, "mh")[n, i]), "rec_h")
+    body = p.if_then_else((NUM_NODES, hidden),
+                          lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+    p.recursion_op(ph, body, "rnn")
 
 
 def main() -> None:
-    prog = build_gated_treernn()
-    lowered = lower(prog)
+    gated_treernn.register()          # now a first-class citizen by name
+    trees = synthetic_treebank(6, vocab_size=VOCAB,
+                               rng=np.random.default_rng(3))
 
-    print("=== compilation summary ===")
-    print(f"kernels: {[(k.name, k.kind) for k in lowered.module.kernels]}")
-    print(f"barriers per level: {lowered.module.meta['barriers_per_level']}")
-    checks = sum(r.checked for r in lowered.bounds.values())
-    gone = sum(r.eliminated for r in lowered.bounds.values())
-    print(f"bound checks eliminated by the prover: {gone}/{checks}")
+    # compile: derived parameters, no random_params written anywhere
+    m = repro.compile("gated_treernn", hidden=HIDDEN, vocab=VOCAB)
+    res = m.run(trees)
+    roots_out = np.stack([res.output("rnn")[res.lin.node_id(t)]
+                          for t in trees])
+    print(f"compiled {m.spec.name}: outputs={list(m.outputs)}, "
+          f"root batch {roots_out.shape}")
 
-    print("\n=== C-like rendering of the fused kernel (excerpt) ===")
-    print("\n".join(lowered.module.c_source.splitlines()[:18]))
+    # the derived reference (RA interpreter) is bit-identical to execution
+    ref = gated_treernn.reference(trees, m.params)
+    exact = all(np.array_equal(roots_out[i], ref[id(t)])
+                for i, t in enumerate(trees))
+    print(f"derived reference matches compiled output bitwise: {exact}")
 
-    rng = np.random.default_rng(0)
-    params = {
-        "Emb": rng.standard_normal((V, H)).astype(np.float32) * 0.5,
-        "W": rng.standard_normal((H, H)).astype(np.float32) * 0.1,
-        "Wg": rng.standard_normal((H, H)).astype(np.float32) * 0.1,
-    }
-    tree = tree_from_nested((((1, 2), (3, 4)), (5, (6, 7))))
-    res = run_model(lowered, [tree], params, device=V100,
-                    compiled=CompiledModule(lowered.module))
-    got = res.root_output("rnn")[0]
-    want = reference(tree, params)
-    print("\n=== execution ===")
-    print(f"matches recursive reference: {np.allclose(got, want, atol=1e-4)}")
-    print(f"simulated latency: {res.simulated_time_s * 1e6:.1f} us")
+    # serve it: cross-request coalescing through the same model
+    server = m.server()
+    handles = [server.submit([t]) for t in trees]
+    server.flush()
+    served = np.stack([h.result().root_output("rnn")[0] for h in handles])
+    print(f"served (coalesced) == run: {np.array_equal(served, roots_out)}")
+    server.drain()
+
+    # artifact round trip: deploy without the compiler
+    with tempfile.TemporaryDirectory() as d:
+        save_model(m, d)
+        deployed = load_model(d)
+        r2 = deployed.run(trees)
+        again = np.stack([r2.output("rnn")[r2.lin.node_id(t)]
+                          for t in trees])
+        print(f"artifact reload == run: {np.array_equal(again, roots_out)}")
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
                     Protocol, Sequence, Union, runtime_checkable)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .authoring import ModelDef as ModelDefLike
     from .pipeline import CompileReport, Session, StageHook
     from .serve import ModelServer
 
@@ -303,7 +304,7 @@ class CortexModel(RunnableModel):
         self._init_runtime()
 
 
-def compile(model: Union[str, ModelSpec],
+def compile(model: Union[str, ModelSpec, "ModelDefLike"],
             options: Optional[CompileOptions] = None, *,
             hidden: Optional[int] = None, vocab: int = 1000,
             params: Optional[Mapping[str, np.ndarray]] = None,
@@ -311,7 +312,13 @@ def compile(model: Union[str, ModelSpec],
             session: Optional["Session"] = None,
             on_stage: Optional["StageHook"] = None,
             **build_kw) -> CortexModel:
-    """Compile one model from the zoo under explicit, validated options.
+    """Compile one model under explicit, validated options.
+
+    ``model`` is a registry short name, a
+    :class:`~repro.models.registry.ModelSpec`, or a declaratively
+    authored :class:`~repro.authoring.ModelDef` — user-defined models
+    compile, serve and export exactly like zoo entries (register them
+    via ``ModelDef.register()`` to also address them by name).
 
     The front door of the compiler: ``options`` (default:
     :data:`~repro.options.PAPER_HEADLINE`) is validated eagerly — illegal

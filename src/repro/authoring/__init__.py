@@ -1,0 +1,33 @@
+"""Declarative model authoring: write the cell once, derive the rest (§3).
+
+This package is the user-facing front end for defining new recursive
+models.  The cell math is written **once** as RA computes inside a
+builder function; the framework derives the parameter shapes and seeded
+initializers, the recursive NumPy reference (the RA interpreter,
+:mod:`repro.ra.interp`), and the registry metadata — and ``register()``
+makes the model a first-class citizen of ``repro.compile``, sessions,
+servers, routers, artifacts, the CLI and the autotuner.
+
+Quick form::
+
+    import repro
+    from repro.authoring import model
+    from repro.linearizer import StructureKind
+
+    @model("gated_treernn", kind=StructureKind.TREE, max_children=2)
+    def gated_treernn(p, hidden, vocab):
+        Emb = p.input_tensor((vocab, hidden), "Emb")
+        ...
+        p.recursion_op(ph, body, "rnn")
+
+    gated_treernn.register()
+    m = repro.compile("gated_treernn", hidden=64, vocab=200)
+
+See ``examples/custom_model.py`` for the full author → compile → serve →
+artifact walkthrough.
+"""
+
+from . import initializers as init
+from .definition import AuthoringError, ModelDef, define_model, model
+
+__all__ = ["AuthoringError", "ModelDef", "define_model", "model", "init"]

@@ -38,18 +38,28 @@ _INPUT_CACHE: Dict[tuple, list] = {}
 
 
 def paper_inputs(model_name: str, batch_size: int, *,
-                 seed: int = 7, seq_len: int = 100) -> List[Node]:
-    """The Table 2 dataset for one model at a given batch size."""
-    key = (model_name, batch_size, seed, seq_len)
+                 seed: int = 7, seq_len: int = 100,
+                 kind: Optional[object] = None) -> List[Node]:
+    """The Table 2 dataset for one model at a given batch size.
+
+    ``kind`` (a :class:`~repro.linearizer.StructureKind`) selects the
+    workload family for names outside the zoo — user-authored models get
+    grid DAGs / word sequences / SST-like treebanks by structure instead
+    of defaulting to trees.
+    """
+    from ..linearizer import StructureKind
+
+    kind_v = getattr(kind, "value", None)
+    key = (model_name, batch_size, seed, seq_len, kind_v)
     if key in _INPUT_CACHE:
         return _INPUT_CACHE[key]
     rng = np.random.default_rng(seed)
     if model_name == "treefc":
         out = [perfect_binary_tree(7, vocab_size=BENCH_VOCAB, rng=rng)
                for _ in range(batch_size)]
-    elif model_name == "dagrnn":
+    elif model_name == "dagrnn" or kind is StructureKind.DAG:
         out = grid_dag_batch(batch_size, 10, 10)
-    elif model_name.startswith("seq"):
+    elif model_name.startswith("seq") or kind is StructureKind.SEQUENCE:
         out = [make_sequence(list(rng.integers(0, BENCH_VOCAB, seq_len)))
                for _ in range(batch_size)]
     else:  # SST-like treebank models

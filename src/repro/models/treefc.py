@@ -5,6 +5,12 @@ One fully-connected layer per node over the concatenated children states:
 concat is folded into the weight split, keeping every operator a clean
 reduction).  Leaves read the embedding table.  Evaluated on perfect binary
 trees of height 7.
+
+Authored declaratively: :data:`MODEL` holds the cell written once; the
+program builder, seeded parameters and the recursive reference are all
+derived from it (:mod:`repro.authoring`).  :func:`legacy_reference` keeps
+the original hand-written NumPy recursion as a redundant cross-check for
+the parity suite.
 """
 
 from __future__ import annotations
@@ -13,52 +19,47 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..authoring import model
 from ..ir import relu
 from ..linearizer import Node, StructureKind
-from ..ra.ops import Program
 from ..ra.node_ref import isleaf
 from ..ra.tensor import NUM_NODES
-from .cells import matvec, random_matrix, random_vector
+from .cells import matvec
 
 DEFAULT_HIDDEN = 256
 
 
-def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
-    with Program("treefc", StructureKind.TREE, 2) as p:
-        Emb = p.input_tensor((vocab, hidden), "Emb")
-        Wl = p.input_tensor((hidden, hidden), "Wl")
-        Wr = p.input_tensor((hidden, hidden), "Wr")
-        b = p.input_tensor((hidden,), "b")
-        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+@model("treefc", name="TreeFC", kind=StructureKind.TREE, max_children=2)
+def MODEL(p, hidden: int = DEFAULT_HIDDEN, vocab: int = 1000):
+    Emb = p.input_tensor((vocab, hidden), "Emb")
+    Wl = p.input_tensor((hidden, hidden), "Wl")
+    Wr = p.input_tensor((hidden, hidden), "Wr")
+    b = p.input_tensor((hidden,), "b")
+    ph = p.placeholder((NUM_NODES, hidden), "h_ph")
 
-        leaf_h = p.compute((NUM_NODES, hidden),
-                           lambda n, i: Emb[n.word, i], "leaf_h")
-        lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
-        rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
-        ml = matvec(p, Wl, lh, "ml")
-        mr = matvec(p, Wr, rh, "mr")
-        rec_h = p.compute((NUM_NODES, hidden),
-                          lambda n, i: relu(ml[n, i] + mr[n, i] + b[i]),
-                          "rec_h")
-        body = p.if_then_else((NUM_NODES, hidden),
-                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
-        p.recursion_op(ph, body, "rnn")
-    return p
-
-
-def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
-                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
-    rng = rng or np.random.default_rng(0)
-    return {
-        "Emb": random_matrix(rng, vocab, hidden, scale=0.5),
-        "Wl": random_matrix(rng, hidden, hidden),
-        "Wr": random_matrix(rng, hidden, hidden),
-        "b": random_vector(rng, hidden),
-    }
+    leaf_h = p.compute((NUM_NODES, hidden),
+                       lambda n, i: Emb[n.word, i], "leaf_h")
+    lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
+    rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
+    ml = matvec(p, Wl, lh, "ml")
+    mr = matvec(p, Wr, rh, "mr")
+    rec_h = p.compute((NUM_NODES, hidden),
+                      lambda n, i: relu(ml[n, i] + mr[n, i] + b[i]),
+                      "rec_h")
+    body = p.if_then_else((NUM_NODES, hidden),
+                          lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+    p.recursion_op(ph, body, "rnn")
 
 
-def reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
-              ) -> Dict[int, np.ndarray]:
+#: derived builder/params (kept as module-level names for convenience)
+build = MODEL.build
+random_params = MODEL.random_params
+reference = MODEL.reference
+
+
+def legacy_reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
+                     ) -> Dict[int, np.ndarray]:
+    """Hand-written recursive NumPy reference (parity cross-check only)."""
     emb, wl, wr, b = params["Emb"], params["Wl"], params["Wr"], params["b"]
     out: Dict[int, np.ndarray] = {}
 

@@ -13,86 +13,85 @@ The only difference — whether the h-gate re-reads the children state — is
 exactly what gates the benefit of recursive refactoring in Fig. 10c: the
 ``z * h_sum`` term forces the final combine to consume placeholder data, so
 the moved reduction cannot drop a barrier.
+
+Both variants share one authored cell (:func:`_cell`); :data:`MODEL` and
+:data:`SIMPLE_MODEL` are its two :class:`~repro.authoring.ModelDef`
+instances.  :func:`legacy_reference` keeps the hand-written recursion as
+a parity cross-check.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Sequence
 
 import numpy as np
 
+from ..authoring import define_model
 from ..ir import sigmoid, tanh
 from ..linearizer import Node, StructureKind
-from ..ra.ops import Program
 from ..ra.node_ref import isleaf
 from ..ra.tensor import NUM_NODES
-from .cells import child_sum, matvec, np_sigmoid, random_matrix, random_vector
+from .cells import child_sum, matvec, np_sigmoid
 
 DEFAULT_HIDDEN = 256
 
 
-def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000, *,
-          simple: bool = False) -> Program:
-    name = "simple_treegru" if simple else "treegru"
-    with Program(name, StructureKind.TREE, 2) as p:
-        Emb = p.input_tensor((vocab, hidden), "Emb")
-        Uz = p.input_tensor((hidden, hidden), "Uz")
-        Ur = p.input_tensor((hidden, hidden), "Ur")
-        Uh = p.input_tensor((hidden, hidden), "Uh")
-        bz = p.input_tensor((hidden,), "bz")
-        br = p.input_tensor((hidden,), "br")
-        bh = p.input_tensor((hidden,), "bh")
-        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+def _cell(p, hidden: int = DEFAULT_HIDDEN, vocab: int = 1000, *,
+          simple: bool = False):
+    Emb = p.input_tensor((vocab, hidden), "Emb")
+    Uz = p.input_tensor((hidden, hidden), "Uz")
+    Ur = p.input_tensor((hidden, hidden), "Ur")
+    Uh = p.input_tensor((hidden, hidden), "Uh")
+    bz = p.input_tensor((hidden,), "bz")
+    br = p.input_tensor((hidden,), "br")
+    bh = p.input_tensor((hidden,), "bh")
+    ph = p.placeholder((NUM_NODES, hidden), "h_ph")
 
-        leaf_h = p.compute((NUM_NODES, hidden),
-                           lambda n, i: Emb[n.word, i], "leaf_h")
-        h_sum = child_sum(p, ph, "h_sum", hidden)
-        mz = matvec(p, Uz, h_sum, "mz")
-        mr = matvec(p, Ur, h_sum, "mr")
-        z = p.compute((NUM_NODES, hidden),
-                      lambda n, i: sigmoid(mz[n, i] + bz[i]), "z")
-        r = p.compute((NUM_NODES, hidden),
-                      lambda n, i: sigmoid(mr[n, i] + br[i]), "r")
-        rh_in = p.compute((NUM_NODES, hidden),
-                          lambda n, i: r[n, i] * h_sum[n, i], "rh_in")
-        mh = matvec(p, Uh, rh_in, "mh")
-        hprime = p.compute((NUM_NODES, hidden),
-                           lambda n, i: tanh(mh[n, i] + bh[i]), "hprime")
-        if simple:
-            rec_h = p.compute(
-                (NUM_NODES, hidden),
-                lambda n, i: (1.0 - z[n, i]) * hprime[n, i], "rec_h")
-        else:
-            rec_h = p.compute(
-                (NUM_NODES, hidden),
-                lambda n, i: z[n, i] * h_sum[n, i]
-                + (1.0 - z[n, i]) * hprime[n, i], "rec_h")
-        body = p.if_then_else((NUM_NODES, hidden),
-                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
-        p.recursion_op(ph, body, "rnn")
-    return p
+    leaf_h = p.compute((NUM_NODES, hidden),
+                       lambda n, i: Emb[n.word, i], "leaf_h")
+    h_sum = child_sum(p, ph, "h_sum", hidden)
+    mz = matvec(p, Uz, h_sum, "mz")
+    mr = matvec(p, Ur, h_sum, "mr")
+    z = p.compute((NUM_NODES, hidden),
+                  lambda n, i: sigmoid(mz[n, i] + bz[i]), "z")
+    r = p.compute((NUM_NODES, hidden),
+                  lambda n, i: sigmoid(mr[n, i] + br[i]), "r")
+    rh_in = p.compute((NUM_NODES, hidden),
+                      lambda n, i: r[n, i] * h_sum[n, i], "rh_in")
+    mh = matvec(p, Uh, rh_in, "mh")
+    hprime = p.compute((NUM_NODES, hidden),
+                       lambda n, i: tanh(mh[n, i] + bh[i]), "hprime")
+    if simple:
+        rec_h = p.compute(
+            (NUM_NODES, hidden),
+            lambda n, i: (1.0 - z[n, i]) * hprime[n, i], "rec_h")
+    else:
+        rec_h = p.compute(
+            (NUM_NODES, hidden),
+            lambda n, i: z[n, i] * h_sum[n, i]
+            + (1.0 - z[n, i]) * hprime[n, i], "rec_h")
+    body = p.if_then_else((NUM_NODES, hidden),
+                          lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+    p.recursion_op(ph, body, "rnn")
 
 
-def build_simple(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
-    return build(hidden, vocab, simple=True)
+MODEL = define_model("treegru", _cell, name="TreeGRU",
+                     kind=StructureKind.TREE, max_children=2)
+SIMPLE_MODEL = define_model(
+    "simple_treegru", functools.partial(_cell, simple=True),
+    name="SimpleTreeGRU", kind=StructureKind.TREE, max_children=2)
+
+build = MODEL.build
+build_simple = SIMPLE_MODEL.build
+random_params = MODEL.random_params
+reference = MODEL.reference
+reference_simple = SIMPLE_MODEL.reference
 
 
-def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
-                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
-    rng = rng or np.random.default_rng(0)
-    return {
-        "Emb": random_matrix(rng, vocab, hidden, scale=0.5),
-        "Uz": random_matrix(rng, hidden, hidden),
-        "Ur": random_matrix(rng, hidden, hidden),
-        "Uh": random_matrix(rng, hidden, hidden),
-        "bz": random_vector(rng, hidden),
-        "br": random_vector(rng, hidden),
-        "bh": random_vector(rng, hidden),
-    }
-
-
-def reference(roots: Sequence[Node], params: Dict[str, np.ndarray], *,
-              simple: bool = False) -> Dict[int, np.ndarray]:
+def legacy_reference(roots: Sequence[Node], params: Dict[str, np.ndarray], *,
+                     simple: bool = False) -> Dict[int, np.ndarray]:
+    """Hand-written recursive NumPy reference (parity cross-check only)."""
     out: Dict[int, np.ndarray] = {}
     emb = params["Emb"]
 
@@ -118,8 +117,8 @@ def reference(roots: Sequence[Node], params: Dict[str, np.ndarray], *,
     return out
 
 
-def reference_simple(roots, params):
-    return reference(roots, params, simple=True)
+def legacy_reference_simple(roots, params):
+    return legacy_reference(roots, params, simple=True)
 
 
 OUTPUT = "rnn"

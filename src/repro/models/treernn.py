@@ -3,6 +3,11 @@
 ``h(n) = Emb[word(n)]`` at leaves, ``h(n) = tanh(h(l) + h(r))`` internally.
 Used in §7.4 to evaluate unrolling with one-node-per-thread-block
 scheduling.
+
+Authored declaratively (:mod:`repro.authoring`): parameters and the
+recursive reference derive from the single cell definition below;
+:func:`legacy_reference` keeps the hand-written recursion as a parity
+cross-check.
 """
 
 from __future__ import annotations
@@ -11,41 +16,38 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..authoring import model
 from ..ir import tanh
 from ..linearizer import Node, StructureKind
-from ..ra.ops import Program
-from ..ra.tensor import NUM_NODES
 from ..ra.node_ref import isleaf
-from .cells import random_matrix
+from ..ra.tensor import NUM_NODES
 
 DEFAULT_HIDDEN = 256
 
 
-def build(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000) -> Program:
-    with Program("treernn", StructureKind.TREE, 2) as p:
-        Emb = p.input_tensor((vocab, hidden), "Emb")
-        ph = p.placeholder((NUM_NODES, hidden), "h_ph")
-        leaf_h = p.compute((NUM_NODES, hidden),
-                           lambda n, i: Emb[n.word, i], "leaf_h")
-        lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
-        rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
-        rec_h = p.compute((NUM_NODES, hidden),
-                          lambda n, i: tanh(lh[n, i] + rh[n, i]), "rec_h")
-        body = p.if_then_else((NUM_NODES, hidden),
-                              lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
-        p.recursion_op(ph, body, "rnn")
-    return p
+@model("treernn", name="TreeRNN", kind=StructureKind.TREE, max_children=2)
+def MODEL(p, hidden: int = DEFAULT_HIDDEN, vocab: int = 1000):
+    Emb = p.input_tensor((vocab, hidden), "Emb")
+    ph = p.placeholder((NUM_NODES, hidden), "h_ph")
+    leaf_h = p.compute((NUM_NODES, hidden),
+                       lambda n, i: Emb[n.word, i], "leaf_h")
+    lh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.left, i], "lh")
+    rh = p.compute((NUM_NODES, hidden), lambda n, i: ph[n.right, i], "rh")
+    rec_h = p.compute((NUM_NODES, hidden),
+                      lambda n, i: tanh(lh[n, i] + rh[n, i]), "rec_h")
+    body = p.if_then_else((NUM_NODES, hidden),
+                          lambda n, i: (isleaf(n), leaf_h, rec_h), "body_h")
+    p.recursion_op(ph, body, "rnn")
 
 
-def random_params(hidden: int = DEFAULT_HIDDEN, vocab: int = 1000,
-                  rng: np.random.Generator | None = None) -> Dict[str, np.ndarray]:
-    rng = rng or np.random.default_rng(0)
-    return {"Emb": random_matrix(rng, vocab, hidden, scale=0.5)}
+build = MODEL.build
+random_params = MODEL.random_params
+reference = MODEL.reference
 
 
-def reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
-              ) -> Dict[int, np.ndarray]:
-    """Recursive NumPy evaluation; returns ``id(node) -> h``."""
+def legacy_reference(roots: Sequence[Node], params: Dict[str, np.ndarray]
+                     ) -> Dict[int, np.ndarray]:
+    """Hand-written recursive NumPy reference (parity cross-check only)."""
     emb = params["Emb"]
     out: Dict[int, np.ndarray] = {}
 

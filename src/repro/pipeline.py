@@ -30,7 +30,7 @@ import numpy as np
 
 from .api import CortexModel
 from .ilir.codegen.compiled import CompiledModule
-from .models.registry import ModelSpec, get_model
+from .models.registry import ModelSpec, resolve_model
 from .options import CompileOptions
 from .ra.lowering import lower, run_codegen
 from .runtime.plan import get_host_plan
@@ -109,8 +109,14 @@ class CompilerPipeline:
                 rng: Optional[np.random.Generator] = None,
                 on_stage: Optional[StageHook] = None,
                 **build_kw) -> CortexModel:
-        """Run every stage; returns the model with its report attached."""
-        spec = get_model(model) if isinstance(model, str) else model
+        """Run every stage; returns the model with its report attached.
+
+        ``model`` is a registry name, a :class:`ModelSpec`, or an
+        authoring :class:`~repro.authoring.ModelDef` (resolved to its
+        derived spec) — user-authored models compile identically to zoo
+        entries.
+        """
+        spec = resolve_model(model)
         opts = _resolve_options(options)
         opts.validate()
         hooks = [h for h in (self.on_stage, on_stage) if h is not None]
@@ -194,9 +200,12 @@ class Session:
 
         ``on_stage`` observes pipeline stages exactly as in
         :meth:`CompilerPipeline.compile`; a cache hit runs no stages, so
-        the hook fires only when compilation actually happens.
+        the hook fires only when compilation actually happens.  A
+        :class:`~repro.authoring.ModelDef` resolves to its cached derived
+        spec, so compiling through the def and through the registered
+        name hit the same cache entry.
         """
-        spec = get_model(model) if isinstance(model, str) else model
+        spec = resolve_model(model)
         opts = _resolve_options(options)
         if params is not None or rng is not None:
             self.stats.bypasses += 1

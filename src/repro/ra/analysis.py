@@ -240,3 +240,134 @@ def refactor_barrier_saving(prog: Program) -> int:
 def count_tensor_ops(prog: Program) -> int:
     """Number of tensor operators in the recursion body (graph size metric)."""
     return len(partition(prog).body)
+
+
+# ---------------------------------------------------------------------------
+# Metadata derivation (authoring / registry verification)
+#
+# The registry used to carry hand-maintained ``outputs`` / ``needs_vocab`` /
+# ``max_children`` flags that could silently drift from what the built
+# program actually does.  These analyses read the same facts *off the
+# program*: the authoring layer uses them to fill metadata in, and
+# ``models.registry.register`` re-derives them to veto drifted declarations.
+
+
+def _all_exprs(prog: Program):
+    """Every expression of every operator (compute bodies + conditions)."""
+    from ..ir import Reduce
+
+    for op in prog.ops:
+        if isinstance(op, ComputeOp):
+            yield op.body
+            body = op.body
+            if isinstance(body, Reduce):
+                for ax in body.axes:
+                    yield ax.extent
+        elif isinstance(op, IfThenElseOp):
+            yield op.cond
+
+
+def uses_words(prog: Program) -> bool:
+    """Does any operator read the node payload (``n.word``)?
+
+    True for embedding lookups *and* feature-table reads (DAG-RNN), so a
+    ``True`` here does not by itself imply the model takes a vocabulary
+    argument — but a model that claims ``needs_vocab`` without ever
+    reading ``n.word`` has nothing to embed, which registration rejects.
+    """
+    from ..ir import UFCall, walk
+
+    words = prog.access.words
+    return any(isinstance(x, UFCall) and x.fn is words
+               for e in _all_exprs(prog) for x in walk(e))
+
+
+def used_child_slots(prog: Program) -> tuple:
+    """Child accessors the program actually touches.
+
+    Returns ``(fixed_slots, uses_child_any)``: the set of fixed slot
+    indices read through ``n.left`` / ``n.child(k)``, and whether the
+    symbolic two-argument accessor ``child(k, n)`` (child-sum reductions)
+    appears anywhere.
+    """
+    from ..ir import UFCall, walk
+
+    by_fn = {fn.name: k for k, fn in prog.access._child.items()}
+    fixed: set = set()
+    child_any = False
+    for e in _all_exprs(prog):
+        for x in walk(e):
+            if not isinstance(x, UFCall):
+                continue
+            if x.fn is prog.access.child_any:
+                child_any = True
+            elif x.fn.name in by_fn:
+                fixed.add(by_fn[x.fn.name])
+    return frozenset(fixed), child_any
+
+
+def derived_max_children(prog: Program) -> int:
+    """The arity bound the program's structure accesses require.
+
+    Symbolic child-sum accesses (``child(k, n)``) iterate up to the
+    declared bound, so they pin the derived value to the declaration;
+    otherwise the highest fixed slot read determines it.  A program whose
+    declaration exceeds what it ever reads still *works* — the declared
+    value also sizes runtime arrays — but a fixed slot beyond the
+    declaration is a hard inconsistency (the linearizer would never fill
+    that slot), which :func:`derive_metadata` surfaces.
+    """
+    fixed, child_any = used_child_slots(prog)
+    if child_any:
+        return prog.max_children
+    if fixed:
+        return max(fixed) + 1
+    return prog.max_children
+
+
+def derived_outputs(prog: Program) -> tuple:
+    """Output state-buffer names, read off ``recursion_op``'s outputs."""
+    prog.finalize()
+    if prog.recursion is None:
+        raise LoweringError(f"{prog.name}: no recursion_op to derive outputs")
+    return tuple(out.name for out in prog.recursion.outputs)
+
+
+def derived_multi_state(prog: Program) -> bool:
+    """True when the recursion resolves more than one placeholder."""
+    prog.finalize()
+    return prog.recursion is not None and len(prog.recursion.pairs) > 1
+
+
+@dataclass(frozen=True)
+class DerivedMetadata:
+    """Registry-relevant facts derived from a built program."""
+
+    outputs: tuple
+    multi_state: bool
+    #: arity bound the structure accesses *require* (lower bound)
+    max_children: int
+    #: arity bound the program was built with (sizes runtime arrays)
+    declared_max_children: int
+    kind: object  # StructureKind (import cycle with linearizer avoided)
+    uses_words: bool
+    fixed_child_slots: frozenset
+    uses_child_any: bool
+
+
+def derive_metadata(prog: Program) -> DerivedMetadata:
+    """Derive every registry metadata field from one built program."""
+    fixed, child_any = used_child_slots(prog)
+    if fixed and max(fixed) + 1 > prog.max_children:
+        raise LoweringError(
+            f"{prog.name}: reads child slot {max(fixed)} but declares "
+            f"max_children={prog.max_children}")
+    return DerivedMetadata(
+        outputs=derived_outputs(prog),
+        multi_state=derived_multi_state(prog),
+        max_children=derived_max_children(prog),
+        declared_max_children=prog.max_children,
+        kind=prog.kind,
+        uses_words=uses_words(prog),
+        fixed_child_slots=fixed,
+        uses_child_any=child_any)

@@ -106,7 +106,10 @@ class Router:
                **server_kw) -> ModelServer:
         """Compile (through the router's session cache) and register.
 
-        ``model`` is a zoo name or spec; ``options`` a
+        ``model`` is a registry name, a spec, or a user-authored
+        :class:`~repro.authoring.ModelDef` (resolved to its derived spec
+        by the session) — custom models deploy exactly like zoo models;
+        ``options`` a
         :class:`~repro.options.CompileOptions` (default: the paper
         headline schedule).  Equal ``(spec, options)`` deployments under
         different names share one *compilation* — program, generated

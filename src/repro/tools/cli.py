@@ -7,12 +7,23 @@ Usage examples::
     python -m repro.tools.cli compare treelstm --batch 10 --device gpu
     python -m repro.tools.cli tune simple_treegru --device gpu
     python -m repro.tools.cli models
+
+User-authored models (``repro.authoring``) plug in through
+``--model-file``: the file is imported first, and any model it registers
+— or any ``ModelDef`` it defines at module scope — becomes addressable
+by short name, so ``compile`` / ``run`` / ``export`` work on models that
+never shipped with the zoo::
+
+    python -m repro.tools.cli compile my_cell --model-file my_model.py
+    python -m repro.tools.cli export my_cell --model-file my_model.py --out art/
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -28,11 +39,75 @@ from ..tune import grid_search
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("model", choices=sorted(MODELS))
+    # model names are validated at command time (against the registry as
+    # it stands AFTER --model-file imports), not by argparse choices
+    p.add_argument("model", help="registry short name "
+                   "(see `models`; --model-file entries included)")
+    p.add_argument("--model-file", default=None, metavar="FILE",
+                   help="python file defining/registering custom models "
+                        "(repro.authoring) to load before resolving MODEL")
     p.add_argument("--hidden", type=int, default=None,
                    help="hidden size (default: the model's hs)")
     p.add_argument("--batch", type=int, default=10)
     p.add_argument("--device", default="gpu", choices=["gpu", "intel", "arm"])
+
+
+#: short name -> source file of models registered via --model-file, so a
+#: re-load of the same file replaces its own registrations instead of
+#: tripping the collision guard
+_MODEL_FILE_SOURCES: dict = {}
+
+
+def load_model_file(path: str) -> None:
+    """Import a user model file, registering whatever it defines.
+
+    The file runs as a throwaway module.  Models it registers itself
+    (``ModelDef.register()`` / ``@model(..., register=True)``) land in
+    the registry directly; module-scope :class:`~repro.authoring
+    .ModelDef` objects that were *not* registered are registered here,
+    so the simplest possible file — a bare ``@model`` definition — works.
+    A definition whose short name collides with an already-registered
+    model is an error: silently resolving the name to the zoo entry
+    would run/export the wrong model.  Re-loading the *same* file is
+    idempotent (the registration from the earlier load wins).
+    """
+    from ..authoring import ModelDef
+    from ..models import unregister
+
+    file = Path(path).resolve()
+    if not file.exists():
+        raise SystemExit(f"--model-file: no such file: {path}")
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_model_file_{file.stem}", file)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for value in vars(module).values():
+        if not isinstance(value, ModelDef):
+            continue
+        existing = MODELS.get(value.short_name)
+        if existing is not None and existing is not value.spec():
+            if _MODEL_FILE_SOURCES.get(value.short_name) == file:
+                # the same file, loaded again (e.g. a second CLI command
+                # in one process): replace with this load's definition
+                unregister(value.short_name)
+            else:
+                raise SystemExit(
+                    f"--model-file: {value.short_name!r} collides with an "
+                    f"already-registered model; rename the definition in "
+                    f"{path} (the existing entry would silently win "
+                    f"otherwise)")
+        if value.short_name not in MODELS:
+            value.register()
+        _MODEL_FILE_SOURCES[value.short_name] = file
+
+
+def _resolve_cli_model(args) -> "object":
+    if getattr(args, "model_file", None):
+        load_model_file(args.model_file)
+    try:
+        return get_model(args.model)
+    except KeyError as e:
+        raise SystemExit(f"error: {e.args[0]}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="cmd", required=True)
 
     p = sub.add_parser("models", help="list the model zoo")
+    p.add_argument("--model-file", default=None, metavar="FILE",
+                   help="also load (and list) models from this python file")
 
     p = sub.add_parser("compile", help="compile a model and inspect it")
     _add_common(p)
@@ -71,7 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_models() -> int:
+def cmd_models(args) -> int:
+    if getattr(args, "model_file", None):
+        load_model_file(args.model_file)
     rows = []
     for name, spec in sorted(MODELS.items()):
         rows.append([name, spec.name, spec.kind.value, spec.hs, spec.hl,
@@ -81,14 +160,14 @@ def cmd_models() -> int:
     return 0
 
 
-def _compile(args, options=None, **extra):
-    spec = get_model(args.model)
+def _compile(args, options=None, spec=None, **extra):
+    spec = spec if spec is not None else _resolve_cli_model(args)
     hidden = args.hidden or spec.hs
     # the registry drops `vocab` for models that never embed (dagrnn)
     if options is not None:
-        return compile_api(args.model, options, hidden=hidden,
+        return compile_api(spec, options, hidden=hidden,
                            vocab=BENCH_VOCAB), hidden
-    return compile_model(args.model, hidden=hidden, vocab=BENCH_VOCAB,
+    return compile_model(spec, hidden=hidden, vocab=BENCH_VOCAB,
                          **extra), hidden
 
 
@@ -127,9 +206,10 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
-    model, hidden = _compile(args)
+    spec = _resolve_cli_model(args)
+    model, hidden = _compile(args, spec=spec)
     device = get_device(args.device)
-    roots = paper_inputs(args.model, args.batch)
+    roots = paper_inputs(args.model, args.batch, kind=spec.kind)
     res = model.run(roots, device=device)
     print(f"{args.model} hidden={hidden} batch={args.batch} "
           f"on {device.name}:")
@@ -141,9 +221,10 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    model, hidden = _compile(args)
+    spec = _resolve_cli_model(args)
+    model, hidden = _compile(args, spec=spec)
     device = get_device(args.device)
-    roots = paper_inputs(args.model, args.batch)
+    roots = paper_inputs(args.model, args.batch, kind=spec.kind)
     res = model.run(roots, device=device)
     rows = [["Cortex", round(res.simulated_time_s * 1e3, 4), 1.0]]
     for label, runner in (("PyTorch-like", pytorch_like.run),
@@ -159,11 +240,11 @@ def cmd_compare(args) -> int:
 
 
 def cmd_tune(args) -> int:
-    spec = get_model(args.model)
+    spec = _resolve_cli_model(args)
     hidden = args.hidden or spec.hs
     device = get_device(args.device)
-    roots = paper_inputs(args.model, args.batch)
-    result = grid_search(args.model, hidden, roots, device,
+    roots = paper_inputs(args.model, args.batch, kind=spec.kind)
+    result = grid_search(spec, hidden, roots, device,
                          vocab=BENCH_VOCAB)
     print(result.summary(top=8))
     return 0
@@ -182,7 +263,7 @@ def cmd_export(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.cmd == "models":
-        return cmd_models()
+        return cmd_models(args)
     if args.cmd == "compile":
         return cmd_compile(args)
     if args.cmd == "run":

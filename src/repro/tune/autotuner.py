@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import CortexError, ScheduleError
 from ..linearizer import Node
-from ..models.registry import get_model
+from ..models.registry import resolve_model
 from ..options import CompileOptions
 from ..pipeline import Session
 from ..runtime.device import Device
@@ -80,7 +80,7 @@ class TuningResult:
         return "\n".join(lines)
 
 
-def grid_search(model_name: str, hidden: int, roots: Sequence[Node],
+def grid_search(model_name, hidden: int, roots: Sequence[Node],
                 device: Device, *, vocab: int = 1000,
                 space: Optional[Dict[str, Sequence]] = None,
                 session: Optional[Session] = None,
@@ -95,10 +95,11 @@ def grid_search(model_name: str, hidden: int, roots: Sequence[Node],
     shared ``session`` to also pool compiles across searches, e.g.
     between a coarse and a refined sweep.
     """
-    spec = get_model(model_name)
+    spec = resolve_model(model_name)
     session = session if session is not None else Session()
     space = dict(space or DEFAULT_SPACE)
-    result = TuningResult(model=model_name, hidden=hidden, device=device.name)
+    result = TuningResult(model=spec.short_name, hidden=hidden,
+                          device=device.name)
     keys = list(space)
     for values in itertools.product(*(space[k] for k in keys)):
         config = dict(zip(keys, values))

@@ -101,4 +101,7 @@ def test_random_models_codegen_matches_interpreter(body_fn, specialize,
     c = build_scalars(lowered.module, lin)
     run_module(lowered.module, ws, c)
 
-    np.testing.assert_allclose(ws["rnn"], res.output("rnn"), atol=1e-5)
+    # random bodies can compound to values in the 1e3 range, where float32
+    # noise exceeds any absolute-only tolerance — compare relatively too
+    np.testing.assert_allclose(ws["rnn"], res.output("rnn"),
+                               rtol=1e-5, atol=1e-5)
