@@ -14,7 +14,11 @@ sizes (trees per request) through:
 * ``per_request`` — the natural per-caller path: one ``model.run(roots)``
   per request (full validation, fresh workspace);
 * ``serve_fN``    — a ``ModelServer`` with ``MaxPendingRequests(N)``; N=1
-  isolates scheduler overhead (no coalescing), larger N adds coalescing.
+  isolates scheduler overhead (no coalescing), larger N adds coalescing;
+* ``degraded``    — the flush-32 server under a seeded FaultInjector
+  failing 10% of executions with transient kernel faults: what resilience
+  (bounded retry + bisection isolation) costs when chaos is actually
+  firing, reported with the stream's end-to-end error rate.
 
 Results go to ``BENCH_serve.json`` at the repo root.  The acceptance gate
 is the ``treelstm`` request-size-1 row: coalesced serving (flush 32) must
@@ -31,7 +35,7 @@ from conftest import save_result
 from repro.bench import cortex_model, format_table, record_bench_json
 from repro.data import synthetic_treebank
 from repro.runtime.memory import ArenaStats
-from repro.serve import MaxPendingRequests
+from repro.serve import FaultInjector, MaxPendingRequests
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -42,6 +46,9 @@ NUM_REQUESTS = 192
 REQUEST_SIZES = (1, 4)
 FLUSH_SIZES = (1, 8, 32)
 MODEL = "treelstm"
+#: injected transient kernel-fault rate for the degraded-mode column
+FAULT_RATE = 0.10
+FAULT_SEED = 0
 
 
 def _requests(request_size: int):
@@ -89,6 +96,20 @@ def _run():
                 occupancy[flush] = srv.metrics_snapshot()
             per[f"serve_f{flush}"] = _time_stream(served, **budget)
 
+        degraded_snap = {}
+
+        def degraded():
+            # a fresh injector per rep replays the identical fault
+            # sequence, so every sample pays the same chaos
+            model.arena.stats = ArenaStats()
+            faults = FaultInjector(seed=FAULT_SEED,
+                                   kernel_failure_rate=FAULT_RATE)
+            srv = model.server(policy=MaxPendingRequests(max(FLUSH_SIZES)),
+                               faults=faults)
+            srv.serve_forever(requests)
+            degraded_snap["snap"] = srv.metrics_snapshot()
+        per["degraded"] = _time_stream(degraded, **budget)
+
         base = per["per_request"]
         row = [MODEL, rs, base / NUM_REQUESTS * 1e6]
         entry = {"per_request_us": base / NUM_REQUESTS * 1e6,
@@ -103,6 +124,17 @@ def _run():
                 snap["batch_occupancy_requests"]
             entry[f"serve_f{flush}_arena_hit_rate"] = \
                 snap["arena"]["hit_rate"]
+            entry[f"serve_f{flush}_error_rate"] = snap["error_rate"]
+        t = per["degraded"]
+        snap = degraded_snap["snap"]
+        row += [t / NUM_REQUESTS * 1e6, round(base / t, 2),
+                snap["error_rate"] * 100]
+        entry["degraded_us"] = t / NUM_REQUESTS * 1e6
+        entry["degraded_speedup"] = base / t
+        entry["degraded_error_rate"] = snap["error_rate"]
+        entry["degraded_retries"] = snap["retries"]
+        entry["degraded_fault_rate"] = FAULT_RATE
+        entry["degraded_kernel_faults"] = snap["faults"]["kernel_failures"]
         rows.append(row)
         results[f"{MODEL}_rs{rs}"] = entry
     return rows, results
@@ -113,17 +145,21 @@ def test_serve_throughput(benchmark):
     headers = ["Model", "Req size", "per-req (us)"]
     for flush in FLUSH_SIZES:
         headers += [f"f{flush} (us)", f"f{flush} x"]
+    headers += ["chaos (us)", "chaos x", "err %"]
     table = format_table(
         headers, rows,
         title=f"Per-request serving wall time, hidden={HIDDEN}, "
               f"{NUM_REQUESTS}-request stream (coalesced flush vs "
-              f"per-request run())")
+              f"per-request run(); chaos = flush {max(FLUSH_SIZES)} under "
+              f"{FAULT_RATE:.0%} injected transient kernel faults)")
     save_result("serve_throughput", table)
     record_bench_json(JSON_PATH, {
         "benchmark": "serve_throughput",
         "hidden": HIDDEN,
         "model": MODEL,
         "flush_sizes": list(FLUSH_SIZES),
+        "fault_rate": FAULT_RATE,
+        "fault_seed": FAULT_SEED,
         "results": results,
     })
 

@@ -2,13 +2,34 @@
 
 Every error raised by this package derives from :class:`CortexError` so
 applications can catch compiler problems without catching unrelated bugs.
+
+The serving subsystem additionally classifies failures for its retry and
+degradation machinery:
+
+* ``retryable`` — a class-level flag on every :class:`CortexError`;
+  ``True`` only for failures that a plain re-execution can plausibly fix
+  (:class:`TransientExecutionError`).  The server's bounded-retry loop
+  consults it through :func:`is_retryable`, so a malformed request is
+  never pointlessly re-executed while a transient kernel fault is.
+* client-caused request outcomes get precise types —
+  :class:`RequestTimeoutError` / :class:`DeadlineExceededError` /
+  :class:`RequestCancelledError` — distinct from server-side overload
+  (:class:`QueueFullError`, :class:`LoadShedError`) and from degraded
+  upstream health (:class:`CircuitOpenError`), because callers react
+  differently to each (give up, back off, or fail over).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CortexError(Exception):
     """Base class for all errors raised by this package."""
+
+    #: may a plain re-execution of the failed work plausibly succeed?
+    #: Consulted by the serving retry loop via :func:`is_retryable`.
+    retryable: bool = False
 
 
 class IRError(CortexError):
@@ -43,6 +64,18 @@ class ExecutionError(CortexError):
     """Runtime failure while executing a compiled module."""
 
 
+class TransientExecutionError(ExecutionError):
+    """An execution failure that re-running the same work may fix.
+
+    The classification the serving retry loop keys on: spurious kernel
+    faults, allocation pressure, injected chaos faults.  Deterministic
+    failures (shape mismatches, malformed structures) must **not** use
+    this type — retrying them wastes the whole batch's time.
+    """
+
+    retryable = True
+
+
 class DeviceError(CortexError):
     """Unknown device or invalid device parameter."""
 
@@ -53,3 +86,60 @@ class ServingError(CortexError):
 
 class QueueFullError(ServingError):
     """Admission control rejected a request: the scheduler queue is full."""
+
+
+class LoadShedError(QueueFullError):
+    """An admitted request was evicted for higher-priority work.
+
+    Subclasses :class:`QueueFullError` so existing overload handling
+    (back off and retry) keeps working unchanged.
+    """
+
+
+class InvalidRequestError(ServingError):
+    """Admission-time structural validation rejected a request."""
+
+
+class RequestTimeoutError(ServingError, TimeoutError):
+    """A request (or a wait on its handle) exceeded its time budget.
+
+    Also derives from :class:`TimeoutError` so callers written against
+    the previous bare-``TimeoutError`` behaviour of
+    ``RequestHandle.result(timeout=)`` keep working.
+    """
+
+
+class DeadlineExceededError(RequestTimeoutError):
+    """A request's deadline expired before (or while) it was served.
+
+    Raised through the request's handle; deadline-expired requests are
+    never executed and never co-batched with live ones.
+    """
+
+
+class RequestCancelledError(ServingError):
+    """The request was cancelled via ``RequestHandle.cancel()``."""
+
+
+class CircuitOpenError(ServingError):
+    """A model's circuit breaker is open: requests are shed immediately.
+
+    Raised by :meth:`repro.serve.Router.submit` instead of queueing work
+    on a model that is persistently failing or saturated.  ``retry_after_s``
+    (when known) is the breaker's remaining cool-down.
+    """
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Is this failure worth re-executing (bounded, with backoff)?
+
+    ``True`` exactly for :class:`CortexError` subclasses that declare
+    ``retryable = True``; foreign exceptions (bugs, keyboard interrupts)
+    are never retried.
+    """
+    return bool(getattr(exc, "retryable", False))

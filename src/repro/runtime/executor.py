@@ -102,7 +102,8 @@ def _concrete_shape(buf, bindings, params) -> Optional[tuple[int, ...]]:
 
 def execute(lowered: Lowered, compiled: CompiledModule, lin: Linearized,
             params: Mapping[str, np.ndarray], *,
-            device=None, plan=None, arena=None) -> ExecutionResult:
+            device=None, plan=None, arena=None,
+            faults=None) -> ExecutionResult:
     """Run the host program; charge costs when ``device`` is given.
 
     Execution goes through the precompiled :class:`~repro.runtime.plan
@@ -111,12 +112,15 @@ def execute(lowered: Lowered, compiled: CompiledModule, lin: Linearized,
     and — when an ``arena`` is supplied — workspace buffers are recycled
     across calls.  Outputs are bit-identical to
     :func:`execute_reference`, the original per-call-derivation path.
+    ``faults`` forwards a :class:`~repro.serve.faults.FaultInjector` for
+    chaos testing (see :func:`~repro.runtime.plan.execute_plan`).
     """
     from .plan import execute_plan, get_host_plan
 
     if plan is None:
         plan = get_host_plan(lowered, compiled)
-    return execute_plan(plan, lin, params, device=device, arena=arena)
+    return execute_plan(plan, lin, params, device=device, arena=arena,
+                        faults=faults)
 
 
 def execute_reference(lowered: Lowered, compiled: CompiledModule,

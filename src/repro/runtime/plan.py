@@ -286,44 +286,65 @@ def get_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
 
 def execute_plan(plan: HostPlan, lin: Linearized,
                  params: Mapping[str, np.ndarray], *,
-                 device=None, arena=None):
+                 device=None, arena=None, faults=None):
     """Run the precompiled host program over one linearized input batch.
 
     The launch sequence replays the reference host loop exactly — pre and
     hoisted kernels in step order, leaf kernels over the leaf batches, level
     kernels over the internal batches, then fused and post kernels — so
     outputs are bit-identical to :func:`executor.execute_reference`.
+
+    ``faults`` is an optional :class:`~repro.serve.faults.FaultInjector`;
+    its hooks fire at execution start (slow flush), before workspace
+    allocation (arena failure) and inside the launch phase (kernel
+    exception).  When an exception escapes mid-execution — injected or
+    genuine — every arena-leased buffer is released back to the pool
+    before it propagates, so a failed call never shrinks the arena.
     """
     from .executor import ExecutionResult
 
+    if faults is not None:
+        faults.on_execution()
+        faults.check_arena()
     c = plan.bind_scalars(lin)
     ws, leased = plan.make_workspace(lin, params, arena)
 
     t0 = time.perf_counter()
-    for _, fn in plan.pre:
-        fn(ws, c)
+    try:
+        if faults is not None:
+            faults.check_kernel()
+        for _, fn in plan.pre:
+            fn(ws, c)
 
-    if plan.leaf or plan.level:
-        begins = lin.batch_begin.tolist()
-        lengths = lin.batch_length.tolist()
+        if plan.leaf or plan.level:
+            begins = lin.batch_begin.tolist()
+            lengths = lin.batch_length.tolist()
 
-    if plan.leaf:
-        nlb = c["leaf_batch_count"]
-        for _, fn in plan.leaf:
-            for lb in range(nlb):
-                fn(ws, c, begins[lb], lengths[lb])
+        if plan.leaf:
+            nlb = c["leaf_batch_count"]
+            for _, fn in plan.leaf:
+                for lb in range(nlb):
+                    fn(ws, c, begins[lb], lengths[lb])
 
-    if plan.level:
-        for b in range(c["level_start"], c["num_batches"]):
-            begin = begins[b]
-            length = lengths[b]
-            for _, fn in plan.level:
-                fn(ws, c, begin, length)
+        if plan.level:
+            for b in range(c["level_start"], c["num_batches"]):
+                begin = begins[b]
+                length = lengths[b]
+                for _, fn in plan.level:
+                    fn(ws, c, begin, length)
 
-    for _, fn in plan.fused:
-        fn(ws, c)
-    for _, fn in plan.post:
-        fn(ws, c)
+        for _, fn in plan.fused:
+            fn(ws, c)
+        for _, fn in plan.post:
+            fn(ws, c)
+    except BaseException:
+        # a failed execution must not leak its workspace: the leased
+        # buffers go back to the pool (their partial contents are safe —
+        # reuse re-zeroes per the needs_zero analysis, and the rest are
+        # proven write-before-read)
+        if arena is not None and leased:
+            arena.release_many(leased)
+        raise
 
     wall = time.perf_counter() - t0
 

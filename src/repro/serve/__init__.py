@@ -7,26 +7,35 @@ and workspace arena — bit-identical to running each request alone, but
 paying the per-call host overhead once per flush instead of once per
 caller.  Pieces:
 
-* :mod:`~repro.serve.request` — requests and future-like handles;
+* :mod:`~repro.serve.request` — requests, deadlines, cancellation and
+  future-like handles;
 * :mod:`~repro.serve.coalescer` — forest merge + root-row scatter;
-* :mod:`~repro.serve.scheduler` — flush policies, admission control;
-* :mod:`~repro.serve.server` — the :class:`ModelServer` front-end;
-* :mod:`~repro.serve.metrics` — throughput / latency / occupancy;
-* :mod:`~repro.serve.router` — multi-model dispatch by name.
+* :mod:`~repro.serve.scheduler` — flush policies, admission control,
+  priority-aware load shedding;
+* :mod:`~repro.serve.server` — the :class:`ModelServer` front-end with
+  bounded retry and bisection fault isolation;
+* :mod:`~repro.serve.faults` — deterministic, seeded fault injection;
+* :mod:`~repro.serve.metrics` — throughput / latency / occupancy /
+  resilience counters;
+* :mod:`~repro.serve.router` — multi-model dispatch with per-model
+  circuit breakers and health states.
 """
 
 from .coalescer import CoalescedBatch, coalesce, scatter
+from .faults import FaultInjector
 from .metrics import ServerMetrics
 from .request import Request, RequestHandle, RequestResult
-from .router import Router
-from .scheduler import (AnyOf, Deadline, FlushPolicy, MaxPendingRequests,
-                        MaxTotalNodes, QueueSnapshot, Scheduler,
-                        default_policy)
-from .server import ModelServer
+from .router import BreakerState, CircuitBreaker, Router
+from .scheduler import (Admission, AnyOf, Deadline, FlushPolicy,
+                        MaxPendingRequests, MaxTotalNodes, QueueSnapshot,
+                        Scheduler, default_policy)
+from .server import NO_RETRY, ModelServer, RetryPolicy
 
 __all__ = [
-    "CoalescedBatch", "coalesce", "scatter", "ServerMetrics", "Request",
-    "RequestHandle", "RequestResult", "Router", "AnyOf", "Deadline",
-    "FlushPolicy", "MaxPendingRequests", "MaxTotalNodes", "QueueSnapshot",
-    "Scheduler", "default_policy", "ModelServer",
+    "CoalescedBatch", "coalesce", "scatter", "FaultInjector",
+    "ServerMetrics", "Request", "RequestHandle", "RequestResult",
+    "BreakerState", "CircuitBreaker", "Router", "Admission", "AnyOf",
+    "Deadline", "FlushPolicy", "MaxPendingRequests", "MaxTotalNodes",
+    "QueueSnapshot", "Scheduler", "default_policy", "NO_RETRY",
+    "ModelServer", "RetryPolicy",
 ]

@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..errors import ServingError
 from ..linearizer import Linearized, Linearizer
 from .request import Request
 
@@ -44,7 +45,20 @@ class CoalescedBatch:
 
 def coalesce(requests: Sequence[Request],
              linearizer: Linearizer) -> CoalescedBatch:
-    """Merge the requests' root sets into one linearized forest."""
+    """Merge the requests' root sets into one linearized forest.
+
+    Refuses requests whose handles are already resolved — a cancelled or
+    deadline-expired request must never ride a mega-batch (the server
+    filters these before coalescing; this guard keeps the invariant for
+    hand-rolled callers too).
+    """
+    if not requests:
+        raise ServingError("cannot coalesce an empty request batch")
+    dead = [r.request_id for r in requests if r.handle.done()]
+    if dead:
+        raise ServingError(
+            f"requests {dead} are already resolved (cancelled or "
+            f"expired); they must not be coalesced into a flush")
     lin, root_ids = linearizer.coalesce([r.roots for r in requests])
     return CoalescedBatch(requests=list(requests), lin=lin,
                           root_ids=root_ids)

@@ -1,0 +1,157 @@
+"""Deterministic, seeded fault injection for chaos-testing the server.
+
+A :class:`FaultInjector` threads through :func:`~repro.runtime.plan
+.execute_plan` (via ``ModelServer(faults=...)`` or a direct ``faults=``
+argument) and injects three failure modes at configurable rates:
+
+* **kernel exceptions** — an :class:`~repro.errors.TransientExecutionError`
+  raised mid-execution, after workspace allocation, exactly where a
+  flaky kernel launch would fail;
+* **arena allocation failures** — raised before workspace allocation,
+  where memory pressure would surface;
+* **slow flushes** — a sleep at flush start, simulating a straggling
+  device or an interfering tenant.
+
+Determinism is the point: every draw comes from one seeded
+``numpy`` generator, so a chaos run is *reproducible* — the same seed,
+request stream and configuration injects the identical fault sequence,
+which is what lets the chaos suite assert bitwise-identical recovery.
+Injected exceptions carry ``injected = True`` so tests can tell chaos
+from genuine bugs.
+
+By default injected failures are transient
+(:class:`~repro.errors.TransientExecutionError`, ``retryable=True``) and
+the server's bounded-retry loop heals them; ``transient=False`` injects
+persistent :class:`~repro.errors.ExecutionError` faults — the mode used
+to drive a :class:`~repro.serve.CircuitBreaker` open in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError, TransientExecutionError
+
+
+class FaultInjector:
+    """Seeded chaos: inject execution faults at configurable rates.
+
+    Args:
+        seed: seed for the injector's private RNG; equal seeds replay
+            the identical fault sequence.
+        kernel_failure_rate: probability per execution that a kernel
+            exception is raised mid-launch.
+        arena_failure_rate: probability per execution that workspace
+            allocation fails.
+        slow_flush_rate: probability per execution of a slow flush.
+        slow_flush_s: how long a slow flush sleeps.
+        transient: inject retryable :class:`TransientExecutionError`
+            (default) vs persistent :class:`ExecutionError`.
+        max_injections: stop injecting failures after this many (slow
+            flushes excluded); ``None`` = unbounded.  Lets a demo inject
+            a burst of chaos and then provably recover.
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 kernel_failure_rate: float = 0.0,
+                 arena_failure_rate: float = 0.0,
+                 slow_flush_rate: float = 0.0,
+                 slow_flush_s: float = 0.002,
+                 transient: bool = True,
+                 max_injections: Optional[int] = None):
+        for name, rate in (("kernel_failure_rate", kernel_failure_rate),
+                           ("arena_failure_rate", arena_failure_rate),
+                           ("slow_flush_rate", slow_flush_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.kernel_failure_rate = kernel_failure_rate
+        self.arena_failure_rate = arena_failure_rate
+        self.slow_flush_rate = slow_flush_rate
+        self.slow_flush_s = slow_flush_s
+        self.transient = transient
+        self.max_injections = max_injections
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Rewind the fault sequence (optionally under a new seed)."""
+        with self._lock:
+            if seed is not None:
+                self.seed = seed
+            self._rng = np.random.default_rng(self.seed)
+            self.executions = 0
+            self.kernel_failures = 0
+            self.arena_failures = 0
+            self.slow_flushes = 0
+
+    # -- draw helpers ------------------------------------------------------
+    def _exhausted(self) -> bool:
+        return (self.max_injections is not None
+                and (self.kernel_failures + self.arena_failures
+                     >= self.max_injections))
+
+    def _raise(self, message: str) -> None:
+        cls = TransientExecutionError if self.transient else ExecutionError
+        exc = cls(message)
+        exc.injected = True
+        raise exc
+
+    # -- hooks (called by execute_plan) ------------------------------------
+    def on_execution(self) -> None:
+        """Start-of-execution hook: counts the call, maybe sleeps.
+
+        One draw per configured fault mode per execution, always in the
+        same order (slow -> arena -> kernel across the three hooks), so
+        the sequence is a pure function of the seed and the number of
+        executions — retries redraw, which is how transient faults heal.
+        """
+        with self._lock:
+            self.executions += 1
+            slow = (self.slow_flush_rate > 0.0
+                    and self._rng.random() < self.slow_flush_rate)
+            if slow:
+                self.slow_flushes += 1
+        if slow:
+            time.sleep(self.slow_flush_s)
+
+    def check_arena(self) -> None:
+        """Pre-allocation hook: may raise an arena allocation failure."""
+        with self._lock:
+            if (self.arena_failure_rate > 0.0
+                    and not self._exhausted()
+                    and self._rng.random() < self.arena_failure_rate):
+                self.arena_failures += 1
+                self._raise("injected fault: workspace arena allocation "
+                            "failed")
+
+    def check_kernel(self) -> None:
+        """Mid-launch hook: may raise a kernel exception."""
+        with self._lock:
+            if (self.kernel_failure_rate > 0.0
+                    and not self._exhausted()
+                    and self._rng.random() < self.kernel_failure_rate):
+                self.kernel_failures += 1
+                self._raise("injected fault: kernel launch failed")
+
+    # -- observability -----------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "executions": self.executions,
+                "kernel_failures": self.kernel_failures,
+                "arena_failures": self.arena_failures,
+                "slow_flushes": self.slow_flushes,
+                "transient": self.transient,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FaultInjector(seed={self.seed}, "
+                f"kernel={self.kernel_failure_rate}, "
+                f"arena={self.arena_failure_rate}, "
+                f"slow={self.slow_flush_rate})")

@@ -36,6 +36,13 @@ class ServerMetrics:
         self.failed = 0
         self.flushes = 0
         self.nodes_processed = 0
+        #: resilience counters (request lifecycle + fault handling)
+        self.retries = 0
+        self.isolations = 0
+        self.isolation_execs = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.shed = 0
         #: per-request end-to-end latency (submit -> result set), seconds
         self._latencies: Deque[float] = deque(maxlen=window)
         #: per-flush occupancy: requests and structure nodes per mega-batch
@@ -51,6 +58,37 @@ class ServerMetrics:
     def note_reject(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def note_retry(self, num_requests: int = 1) -> None:
+        """One transient-failure retry attempt covering ``num_requests``."""
+        with self._lock:
+            self.retries += 1
+
+    def note_isolation(self, extra_execs: int) -> None:
+        """A failed multi-request batch was bisected into sub-batches."""
+        with self._lock:
+            self.isolations += 1
+            self.isolation_execs += extra_execs
+
+    def note_expired(self, n: int = 1) -> None:
+        """``n`` requests hit their deadline before being served."""
+        with self._lock:
+            self.expired += n
+
+    def note_cancelled(self, n: int = 1) -> None:
+        """``n`` queued requests were cancelled before execution."""
+        with self._lock:
+            self.cancelled += n
+
+    def note_shed(self, n: int = 1) -> None:
+        """``n`` admitted requests were evicted for higher-priority work."""
+        with self._lock:
+            self.shed += n
+
+    def note_failed(self, n: int = 1) -> None:
+        """``n`` requests failed outside a whole-flush failure."""
+        with self._lock:
+            self.failed += n
 
     def note_flush(self, num_requests: int, num_nodes: int, exec_s: float,
                    latencies: Sequence[float], *, failed: bool = False
@@ -96,6 +134,14 @@ class ServerMetrics:
                                              if occ_r.size else 0.0),
                 "batch_occupancy_nodes": (float(occ_n.mean())
                                           if occ_n.size else 0.0),
+                "retries": self.retries,
+                "isolations": self.isolations,
+                "isolation_execs": self.isolation_execs,
+                "expired": self.expired,
+                "cancelled": self.cancelled,
+                "shed": self.shed,
+                "error_rate": (self.failed
+                               / max(1, self.completed + self.failed)),
             }
         if arena is not None:
             out["arena"] = arena.snapshot()

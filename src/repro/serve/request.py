@@ -6,6 +6,13 @@ returns a :class:`RequestHandle` immediately; the result materializes when
 the scheduler flushes the mega-batch the request rode in.  Handles are
 thread-safe — the threaded server completes them from its worker thread
 while callers block in :meth:`RequestHandle.result`.
+
+Lifecycle: a handle starts *pending*; the caller may :meth:`RequestHandle
+.cancel` it until the server *claims* it for execution; the server
+resolves it exactly once (result or typed exception).  Resolution is
+first-wins — late writers are ignored — which is what makes "zero handles
+left unresolved, none resolved twice" hold under races between caller
+cancellation, deadline expiry and flush completion.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ServingError
+from ..errors import (RequestCancelledError, RequestTimeoutError,
+                      ServingError)
 from ..linearizer import Node
 
 
@@ -39,6 +47,9 @@ class RequestResult:
     exec_time_s: float = 0.0
     latency_s: float = 0.0
     simulated_time_s: Optional[float] = None
+    #: execution attempts this request took to succeed (1 = first try;
+    #: more when transient faults forced retries)
+    attempts: int = 1
 
     def root_output(self, name: str) -> np.ndarray:
         """Rows of an output buffer at this request's roots."""
@@ -51,17 +62,65 @@ class RequestHandle:
     def __init__(self, request_id: int):
         self.request_id = request_id
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._result: Optional[RequestResult] = None
         self._exception: Optional[BaseException] = None
+        self._cancelled = False
+        self._claimed = False
 
     # -- completion (server side) -----------------------------------------
-    def set_result(self, result: RequestResult) -> None:
-        self._result = result
-        self._event.set()
+    def set_result(self, result: RequestResult) -> bool:
+        """Resolve with a result; ``False`` when already resolved."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._result = result
+            self._event.set()
+            return True
 
-    def set_exception(self, exc: BaseException) -> None:
-        self._exception = exc
-        self._event.set()
+    def set_exception(self, exc: BaseException) -> bool:
+        """Resolve with a failure; ``False`` when already resolved."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._exception = exc
+            self._event.set()
+            return True
+
+    def claim(self) -> bool:
+        """Mark execution as started (server side).
+
+        ``False`` when the handle already resolved (cancelled / expired)
+        — the server must then drop the request instead of executing it.
+        After a successful claim, :meth:`cancel` can no longer win.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._claimed = True
+            return True
+
+    # -- cancellation (caller side) ----------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the request if it has not started executing.
+
+        ``True`` when the cancellation won: the handle resolves
+        immediately with :class:`~repro.errors.RequestCancelledError` and
+        the server will never execute the request.  ``False`` when the
+        request is already executing or already resolved.
+        """
+        with self._lock:
+            if self._event.is_set() or self._claimed:
+                return False
+            self._cancelled = True
+            self._exception = RequestCancelledError(
+                f"request {self.request_id} cancelled")
+            self._event.set()
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     # -- consumption (caller side) -----------------------------------------
     def done(self) -> bool:
@@ -72,9 +131,11 @@ class RequestHandle:
 
         With the synchronous server, call :meth:`ModelServer.flush` /
         ``drain`` first — nothing completes handles until a flush runs.
+        An expired wait raises :class:`~repro.errors.RequestTimeoutError`
+        (a ``TimeoutError`` subclass); the request itself stays pending.
         """
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise RequestTimeoutError(
                 f"request {self.request_id} not served within {timeout}s")
         if self._exception is not None:
             raise self._exception
@@ -84,12 +145,13 @@ class RequestHandle:
     def exception(self, timeout: Optional[float] = None
                   ) -> Optional[BaseException]:
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise RequestTimeoutError(
                 f"request {self.request_id} not served within {timeout}s")
         return self._exception
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = ("failed" if self._exception is not None
+        state = ("cancelled" if self._cancelled
+                 else "failed" if self._exception is not None
                  else "done" if self.done() else "pending")
         return f"RequestHandle(id={self.request_id}, {state})"
 
@@ -100,11 +162,21 @@ class Request:
 
     request_id: int
     roots: List[Node]
-    #: distinct nodes reachable from ``roots``; 0 when the scheduler's
-    #: policy doesn't consult node counts (the traversal is skipped)
+    #: distinct nodes reachable from ``roots``; 0 when neither the
+    #: scheduler's policy nor admission control consults node counts
     num_nodes: int
     #: ``time.perf_counter()`` at admission (deadline / latency accounting)
     submit_t: float
+    #: absolute ``perf_counter`` deadline; ``None`` = no deadline.  The
+    #: server expires overdue requests in the queue and refuses to
+    #: co-batch (or execute) them past this instant.
+    deadline_t: Optional[float] = None
+    #: load-shedding class: higher values survive overload longer (an
+    #: arriving higher-priority request may evict the lowest-priority
+    #: queued one instead of being rejected)
+    priority: int = 0
+    #: execution attempts so far (bounded by the server's retry policy)
+    attempts: int = 0
     #: created in ``__post_init__`` when not supplied
     handle: Optional[RequestHandle] = field(repr=False, default=None)
 
@@ -113,3 +185,6 @@ class Request:
             self.handle = RequestHandle(self.request_id)
         if not self.roots:
             raise ServingError("request needs at least one root")
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_t is not None and now >= self.deadline_t

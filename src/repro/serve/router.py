@@ -4,8 +4,8 @@ A deployment rarely serves a single model; the :class:`Router` keys
 independent :class:`~repro.serve.ModelServer` instances by name and fans
 ``submit`` calls out to the right one.  Each server keeps its own
 scheduler, arena and metrics — models never share workspace — so the
-router is thin by design: registration, dispatch, lifecycle, and an
-aggregated metrics view.
+router is thin by design: registration, dispatch, lifecycle, health
+tracking, and an aggregated metrics view.
 
 Registration accepts anything implementing the :class:`~repro.api
 .ModelHandle` surface — a freshly compiled :class:`~repro.api
@@ -14,17 +14,156 @@ Registration accepts anything implementing the :class:`~repro.api
 through the router's :class:`~repro.pipeline.Session`, so registering
 the same configuration twice (blue/green rollouts, per-tenant aliases)
 never recompiles.
+
+Graceful degradation: every registered model gets a
+:class:`CircuitBreaker` (disable with ``breaker=False``).  The breaker
+watches executed requests' outcomes through the server's observer hook
+and walks the classic health states — ``CLOSED`` (healthy) → ``OPEN``
+after a run of failures (submits shed immediately with
+:class:`~repro.errors.CircuitOpenError` instead of queueing onto a
+broken model and cascading into queue timeouts) → ``HALF_OPEN`` after a
+cool-down (a bounded number of probe requests are let through) → back
+to ``CLOSED`` once the probes succeed.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Union
+import enum
+import threading
+import time
+from typing import (TYPE_CHECKING, Callable, Dict, Iterator, Optional,
+                    Sequence, Union)
 
+from ..errors import CircuitOpenError, ServingError
 from ..linearizer import Node
 from .request import RequestHandle
 from .server import ModelServer
+
+
+class BreakerState(enum.Enum):
+    """Health of one model behind the router."""
+
+    CLOSED = "closed"          # healthy: all traffic flows
+    OPEN = "open"              # shedding: submits fail fast
+    HALF_OPEN = "half_open"    # probing: limited traffic readmitted
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open recovery.
+
+    ``failure_threshold`` consecutive executed-request failures trip the
+    breaker ``OPEN``; for ``reset_timeout_s`` every :meth:`allow` is
+    refused (the router sheds with
+    :class:`~repro.errors.CircuitOpenError`).  After the cool-down the
+    breaker turns ``HALF_OPEN`` and admits up to ``half_open_probes``
+    in-flight probe requests: that many successes close it (counters
+    reset), while any probe failure re-opens it for a fresh cool-down.
+
+    Thread-safe; ``clock`` is injectable for tests (defaults to
+    ``time.monotonic``).
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 1.0,
+                 half_open_probes: int = 2,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ServingError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ServingError("reset_timeout_s must be >= 0")
+        if half_open_probes < 1:
+            raise ServingError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_t = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.opened_count = 0        # times the breaker tripped OPEN
+        self.shed_count = 0          # submits refused while OPEN
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (self._state is BreakerState.OPEN
+                and self._clock() - self._opened_t >= self.reset_timeout_s):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def allow(self) -> bool:
+        """May a new request pass?  (Counts a HALF_OPEN probe slot.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            self.shed_count += 1
+            return False
+
+    def retry_after_s(self) -> Optional[float]:
+        """Remaining cool-down when OPEN; ``None`` otherwise."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return None
+            return max(0.0, self.reset_timeout_s
+                       - (self._clock() - self._opened_t))
+
+    def record(self, ok: bool) -> None:
+        """Feed one executed request's outcome into the health state."""
+        with self._lock:
+            if ok:
+                if self._state is BreakerState.HALF_OPEN:
+                    self._probe_successes += 1
+                    if self._probe_successes >= self.half_open_probes:
+                        self._state = BreakerState.CLOSED
+                        self._consecutive_failures = 0
+                elif self._state is BreakerState.CLOSED:
+                    self._consecutive_failures = 0
+                return
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (self._state is BreakerState.CLOSED
+                    and self._consecutive_failures
+                    >= self.failure_threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_t = self._clock()
+        self._consecutive_failures = 0
+        self.opened_count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "opened_count": self.opened_count,
+                "shed_count": self.shed_count,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CircuitBreaker({self.state.value})"
 
 
 def _private_arena_view(model):
@@ -61,6 +200,7 @@ class Router:
 
     def __init__(self, session: Optional["Session"] = None) -> None:
         self._servers: Dict[str, ModelServer] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._session = session
 
     @property
@@ -74,7 +214,8 @@ class Router:
 
     # -- registration ------------------------------------------------------
     def add_model(self, name: str,
-                  model: Union["ModelHandle", ModelServer],
+                  model: Union["ModelHandle", ModelServer], *,
+                  breaker: Union[CircuitBreaker, bool, None] = True,
                   **server_kw) -> ModelServer:
         """Register a model (wrapped in a new server) or a ready server.
 
@@ -84,6 +225,11 @@ class Router:
         flush through one workspace arena.  Ready ``ModelServer``
         instances are taken as-is; sharing a model across hand-built
         servers is the caller's responsibility.
+
+        ``breaker`` configures the model's circuit breaker: ``True``
+        (default) installs a :class:`CircuitBreaker` with default
+        thresholds, a :class:`CircuitBreaker` instance is used as-is,
+        and ``False`` / ``None`` disables breaking for this model.
         """
         if name in self._servers:
             raise KeyError(f"model {name!r} already registered")
@@ -96,6 +242,12 @@ class Router:
             if any(s.model is model for s in self._servers.values()):
                 model = _private_arena_view(model)
             server = ModelServer(model, **server_kw)
+        if breaker is True:
+            breaker = CircuitBreaker()
+        if isinstance(breaker, CircuitBreaker):
+            self._breakers[name] = breaker
+            server.add_observer(
+                lambda req, exc, _b=breaker: _b.record(exc is None))
         self._servers[name] = server
         return server
 
@@ -133,6 +285,7 @@ class Router:
         server.stop()
         server.drain()
         del self._servers[name]
+        self._breakers.pop(name, None)
 
     def server(self, name: str) -> ModelServer:
         try:
@@ -154,10 +307,39 @@ class Router:
     def names(self) -> Sequence[str]:
         return sorted(self._servers)
 
+    # -- health ------------------------------------------------------------
+    def breaker(self, name: str) -> Optional[CircuitBreaker]:
+        """The model's circuit breaker (``None`` when disabled)."""
+        self.server(name)  # raise the uniform KeyError for unknown names
+        return self._breakers.get(name)
+
+    def health(self) -> Dict[str, str]:
+        """Per-model health state (models without a breaker are closed)."""
+        return {name: (self._breakers[name].state.value
+                       if name in self._breakers
+                       else BreakerState.CLOSED.value)
+                for name in self._servers}
+
     # -- dispatch ----------------------------------------------------------
-    def submit(self, name: str,
-               roots: Union[Node, Sequence[Node]]) -> RequestHandle:
-        return self.server(name).submit(roots)
+    def submit(self, name: str, roots: Union[Node, Sequence[Node]],
+               **submit_kw) -> RequestHandle:
+        """Dispatch to the named model, shedding fast when it is broken.
+
+        With the model's breaker ``OPEN``, raises
+        :class:`~repro.errors.CircuitOpenError` immediately — the
+        request never queues, so a persistently failing model degrades
+        into fast typed rejections instead of queue-timeout cascades.
+        ``submit_kw`` (``timeout_s``, ``priority``) forwards to
+        :meth:`ModelServer.submit`.
+        """
+        server = self.server(name)
+        breaker = self._breakers.get(name)
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"model {name!r} circuit is {breaker.state.value}; "
+                f"shedding until the model proves healthy",
+                retry_after_s=breaker.retry_after_s())
+        return server.submit(roots, **submit_kw)
 
     def flush(self, name: Optional[str] = None) -> int:
         """Flush one model's queue, or every model's when ``name`` is None."""
@@ -189,6 +371,12 @@ class Router:
 
     # -- observability -----------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, dict]:
-        """Per-model metrics, keyed like :meth:`submit`."""
-        return {name: server.metrics_snapshot()
-                for name, server in self._servers.items()}
+        """Per-model metrics (breaker health included), keyed like
+        :meth:`submit`."""
+        out: Dict[str, dict] = {}
+        for name, server in self._servers.items():
+            snap = server.metrics_snapshot()
+            if name in self._breakers:
+                snap["breaker"] = self._breakers[name].snapshot()
+            out[name] = snap
+        return out

@@ -14,7 +14,12 @@ pluggable and composable:
 
 Admission control is a hard bound on queued requests: :meth:`Scheduler
 .offer` refuses beyond ``max_queue``, which the server surfaces as
-:class:`~repro.errors.QueueFullError` backpressure to callers.
+:class:`~repro.errors.QueueFullError` backpressure to callers.  Overload
+is priority-aware: a full queue sheds its lowest-priority (latest-queued)
+request to admit a strictly higher-priority arrival, so under saturation
+important traffic degrades last.  Requests carrying deadlines are expired
+*in the queue* by :meth:`Scheduler.expire` — an overdue request never
+rides a flush.
 """
 
 from __future__ import annotations
@@ -36,6 +41,22 @@ class QueueSnapshot:
     num_requests: int
     num_nodes: int
     oldest_age_s: float
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Outcome of :meth:`Scheduler.offer`; truthy iff admitted.
+
+    ``victim`` is the lower-priority request that was evicted to make
+    room (the server resolves its handle with
+    :class:`~repro.errors.LoadShedError`); ``None`` in the common case.
+    """
+
+    admitted: bool
+    victim: Optional[Request] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
 
 
 class FlushPolicy:
@@ -167,6 +188,9 @@ class Scheduler:
         self.max_queue = max_queue
         self._q: Deque[Request] = deque()
         self._nodes = 0
+        #: any queued request carrying a deadline?  Keeps the expiry
+        #: sweep O(1) for deadline-free traffic.
+        self._deadlines = 0
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -178,14 +202,66 @@ class Scheduler:
         return self._nodes
 
     # -- admission ---------------------------------------------------------
-    def offer(self, request: Request) -> bool:
-        """Queue a request; ``False`` when admission control refuses."""
+    def offer(self, request: Request) -> Admission:
+        """Queue a request; falsy :class:`Admission` when control refuses.
+
+        At a full queue a strictly higher-priority arrival evicts the
+        lowest-priority (latest-queued among ties) pending request and is
+        admitted in its place; the eviction is reported as ``victim`` so
+        the server can resolve its handle with a typed
+        :class:`~repro.errors.LoadShedError`.  Equal-priority arrivals
+        are refused — shedding never reorders within a priority class.
+        """
         with self._lock:
             if len(self._q) >= self.max_queue:
-                return False
-            self._q.append(request)
-            self._nodes += request.num_nodes
-            return True
+                victim_i = None
+                for i in range(len(self._q) - 1, -1, -1):
+                    cand = self._q[i]
+                    if cand.priority < request.priority and (
+                            victim_i is None
+                            or cand.priority < self._q[victim_i].priority):
+                        victim_i = i
+                if victim_i is None:
+                    return Admission(False)
+                victim = self._q[victim_i]
+                del self._q[victim_i]
+                self._nodes -= victim.num_nodes
+                if victim.deadline_t is not None:
+                    self._deadlines -= 1
+                self._append(request)
+                return Admission(True, victim=victim)
+            self._append(request)
+            return Admission(True)
+
+    def _append(self, request: Request) -> None:
+        self._q.append(request)
+        self._nodes += request.num_nodes
+        if request.deadline_t is not None:
+            self._deadlines += 1
+
+    # -- deadline expiry ---------------------------------------------------
+    def expire(self, now: Optional[float] = None) -> List[Request]:
+        """Remove and return every queued request past its deadline.
+
+        The server resolves the returned requests' handles with
+        :class:`~repro.errors.DeadlineExceededError`; they never ride a
+        flush.  O(1) when no queued request carries a deadline.
+        """
+        with self._lock:
+            if not self._deadlines:
+                return []
+            if now is None:
+                now = time.perf_counter()
+            live: Deque[Request] = deque()
+            dead: List[Request] = []
+            for req in self._q:
+                (dead if req.expired(now) else live).append(req)
+            if dead:
+                self._q = live
+                self._nodes -= sum(r.num_nodes for r in dead)
+                self._deadlines -= sum(
+                    1 for r in dead if r.deadline_t is not None)
+            return dead
 
     # -- flush decisions ---------------------------------------------------
     def snapshot(self, now: Optional[float] = None) -> QueueSnapshot:
@@ -215,4 +291,6 @@ class Scheduler:
             n = max(1, min(self.policy.take(tuple(self._q)), len(self._q)))
             out = [self._q.popleft() for _ in range(n)]
             self._nodes -= sum(r.num_nodes for r in out)
+            self._deadlines -= sum(
+                1 for r in out if r.deadline_t is not None)
             return out

@@ -18,6 +18,30 @@ Two driving modes:
 
 Every flush is bit-identical to running each of its requests alone — the
 equivalence tests assert this across the model zoo and all flush policies.
+
+Resilience (the request lifecycle, end to end):
+
+* **admission** — structural validation at ``submit()`` (declared
+  structure kind, arity bound, acyclicity, optional node-count cap), so
+  a malformed request is rejected on the caller's thread instead of
+  poisoning a coalesced flush; priority-aware load shedding under
+  overload (see :class:`~repro.serve.scheduler.Scheduler`).
+* **deadlines** — ``submit(roots, timeout_s=...)``; overdue requests are
+  expired *in the queue* and are never co-batched or executed.
+* **cancellation** — ``handle.cancel()`` wins any time before the server
+  claims the request for execution.
+* **retries** — failures classified transient (see
+  :func:`~repro.errors.is_retryable`) re-execute the whole batch under a
+  bounded :class:`RetryPolicy` with exponential backoff + seeded jitter;
+  outputs after a successful retry are bitwise identical to a fault-free
+  run (execution is deterministic given the coalesced batch).
+* **isolation** — a batch that keeps failing is bisected (O(log n)
+  re-executions, not O(n)) so one poisoned request fails alone with a
+  typed error while its co-batched neighbours still succeed.
+
+Every taken request resolves exactly once, on every code path — the
+chaos suite drives injected faults through this loop and asserts no
+handle is ever left unresolved.
 """
 
 from __future__ import annotations
@@ -25,16 +49,21 @@ from __future__ import annotations
 import threading
 import time
 import weakref
-from typing import (TYPE_CHECKING, Iterable, List, Optional, Sequence,
-                    Union)
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Callable, Iterable, List, Optional,
+                    Sequence, Union)
 
 import numpy as np
 
-from ..errors import QueueFullError, ServingError
+from ..errors import (DeadlineExceededError, InvalidRequestError,
+                      LoadShedError, QueueFullError, ServingError,
+                      is_retryable)
 from ..linearizer import Node, count_nodes
+from ..linearizer import validate as validate_structure
 from ..options import Validate
 from ..runtime.plan import execute_plan
 from .coalescer import coalesce, scatter
+from .faults import FaultInjector
 from .metrics import ServerMetrics
 from .request import Request, RequestHandle, RequestResult
 from .scheduler import FlushPolicy, Scheduler
@@ -42,6 +71,55 @@ from .scheduler import FlushPolicy, Scheduler
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..api import ModelHandle
     from ..runtime.device import Device
+
+#: an observer sees every *executed* request's final outcome:
+#: ``fn(request, exc)`` with ``exc is None`` on success.  Client-caused
+#: outcomes (cancelled, expired, shed) are not reported — they say
+#: nothing about the model's health.
+Observer = Callable[[Request, Optional[BaseException]], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` bounds *executions per request* (first try
+    included); retries fire only for failures whose exception type is
+    classified transient (:func:`~repro.errors.is_retryable`).  Backoff
+    for attempt ``k`` (1-based retry index) is ``base_delay_s *
+    multiplier**(k-1)`` capped at ``max_delay_s``, scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` out of a
+    generator seeded with ``seed`` — so a chaos run's exact retry
+    schedule is reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0005
+    max_delay_s: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServingError("RetryPolicy.max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError("RetryPolicy.jitter must be in [0, 1]")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ServingError("RetryPolicy delays must be >= 0")
+
+    def backoff_s(self, retry_index: int,
+                  rng: np.random.Generator) -> float:
+        """Sleep before the ``retry_index``-th retry (1-based)."""
+        delay = min(self.base_delay_s * self.multiplier ** (retry_index - 1),
+                    self.max_delay_s)
+        if self.jitter and delay:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+#: no-retry policy for callers that want failures surfaced immediately
+NO_RETRY = RetryPolicy(max_attempts=1)
 
 
 class ModelServer:
@@ -52,11 +130,27 @@ class ModelServer:
             every flush.
         policy: flush policy (default: 32 pending requests or 2 ms).
         max_queue: admission bound; beyond it ``submit`` raises
-            :class:`~repro.errors.QueueFullError` (backpressure).
+            :class:`~repro.errors.QueueFullError` (backpressure) unless
+            the arrival outranks a queued request, which is then shed
+            with :class:`~repro.errors.LoadShedError`.
         validate: the shared :class:`~repro.options.Validate` convention
             (``Validate.FIRST`` structure-checks the first flush and
             trusts the rest); the legacy ``"first"`` / ``"always"`` /
             ``"never"`` literals are still accepted, as in ``run_many``.
+        admission: ``"structural"`` (default) validates every submitted
+            structure against the model's compile-time declaration —
+            kind, arity bound, acyclicity — on the caller's thread, so
+            malformed requests raise at ``submit()`` instead of failing
+            mid-flush; ``"none"`` defers everything to flush time.
+        max_request_nodes: admission cap on one request's structure size
+            (``None`` = uncapped); violations raise
+            :class:`~repro.errors.InvalidRequestError`.
+        retry: transient-failure :class:`RetryPolicy` (default: 3
+            attempts with exponential backoff + seeded jitter); pass
+            :data:`NO_RETRY` to surface first failures.
+        faults: optional :class:`~repro.serve.FaultInjector` threaded
+            into every ``execute_plan`` call — deterministic chaos for
+            tests and degraded-mode benchmarks.
         outputs: buffer names to scatter back per request (default: the
             model's output and state buffers).
         device: optional simulated device; attaches per-flush simulated
@@ -67,6 +161,10 @@ class ModelServer:
                  policy: Optional[FlushPolicy] = None,
                  max_queue: int = 1024,
                  validate: Union[str, bool, Validate] = Validate.FIRST,
+                 admission: Union[str, bool] = "structural",
+                 max_request_nodes: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultInjector] = None,
                  outputs: Optional[Sequence[str]] = None,
                  device: Optional["Device"] = None,
                  metrics_window: int = 4096,
@@ -75,6 +173,16 @@ class ModelServer:
             self._validate = Validate.coerce(validate)
         except ValueError as exc:
             raise ServingError(str(exc)) from None
+        if admission in ("structural", True):
+            self._admission = "structural"
+        elif admission in ("none", False, None):
+            self._admission = "none"
+        else:
+            raise ServingError(
+                f"admission must be 'structural' or 'none', got "
+                f"{admission!r}")
+        if max_request_nodes is not None and max_request_nodes < 1:
+            raise ServingError("max_request_nodes must be >= 1")
         # deployment forms without a cost model (artifact reloads) veto
         # simulated devices here too, not only in their server() wrapper,
         # so direct ModelServer/Router construction cannot leak wrong
@@ -85,43 +193,114 @@ class ModelServer:
         self.model = model
         self.scheduler = Scheduler(policy, max_queue=max_queue)
         self.metrics = ServerMetrics(window=metrics_window)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self.device = device
+        self._max_request_nodes = max_request_nodes
+        self._retry_rng = np.random.default_rng(self.retry.seed)
         self._validated = False
         self._outputs = (list(outputs) if outputs is not None
                          else model.default_outputs())
         self._wake_interval_s = wake_interval_s
         self._req_counter = 0
         self._counter_lock = threading.Lock()
+        self._observers: List[Observer] = []
         #: serializes flush execution (arena + workspace are single-threaded)
         self._flush_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._stop = False
         self._cond = threading.Condition()
 
+    # -- health observers --------------------------------------------------
+    def add_observer(self, fn: Observer) -> None:
+        """Register a callback for executed requests' final outcomes.
+
+        Called as ``fn(request, exc)`` after the handle resolves —
+        ``exc is None`` for success, the typed failure otherwise.
+        Cancelled, expired and shed requests are not reported (they
+        carry no signal about the model's health).  The router's
+        circuit breakers attach through this hook.
+        """
+        self._observers.append(fn)
+
+    def _notify(self, req: Request, exc: Optional[BaseException]) -> None:
+        for fn in self._observers:
+            try:
+                fn(req, exc)
+            except Exception:  # pragma: no cover - observer bugs
+                pass  # a broken observer must not take down the flush loop
+
     # -- submission --------------------------------------------------------
-    def submit(self, roots: Union[Node, Sequence[Node]]) -> RequestHandle:
+    def _admit_check(self, root_list: List[Node]) -> int:
+        """Structural validation + node counting at admission time.
+
+        Returns the node count when it was computed (the policy or the
+        cap needs it), else 0.  Raises
+        :class:`~repro.errors.LinearizationError` for structures that
+        violate the model's compile-time declaration and
+        :class:`~repro.errors.InvalidRequestError` for oversized ones.
+        """
+        lz = self.model.lowered.linearizer
+        if self._admission == "structural":
+            validate_structure(root_list, lz.kind, lz.max_children)
+        nodes = 0
+        if (self.scheduler.policy.uses_node_counts
+                or self._max_request_nodes is not None):
+            nodes = count_nodes(root_list)
+            if (self._max_request_nodes is not None
+                    and nodes > self._max_request_nodes):
+                raise InvalidRequestError(
+                    f"request has {nodes} nodes, exceeding the "
+                    f"max_request_nodes={self._max_request_nodes} "
+                    f"admission cap")
+        return nodes
+
+    def submit(self, roots: Union[Node, Sequence[Node]], *,
+               timeout_s: Optional[float] = None,
+               priority: int = 0) -> RequestHandle:
         """Queue one request; returns its handle immediately.
 
-        In synchronous mode the call also flushes when the policy fires, so
-        earlier callers' handles may complete during a later ``submit``.
-        Raises :class:`~repro.errors.QueueFullError` when admission control
-        refuses — callers should back off and retry (or drop).
+        ``timeout_s`` sets the request's deadline: if it is still queued
+        (or mid-retry) when the deadline passes, it fails with
+        :class:`~repro.errors.DeadlineExceededError` and is never
+        executed.  ``priority`` feeds overload shedding: at a full queue
+        a higher-priority arrival evicts the lowest-priority pending
+        request (shed with :class:`~repro.errors.LoadShedError`) instead
+        of being rejected.
+
+        In synchronous mode the call also flushes when the policy fires,
+        so earlier callers' handles may complete during a later
+        ``submit``.  Raises :class:`~repro.errors.QueueFullError` when
+        admission control refuses — callers should back off and retry
+        (or drop).
         """
+        if timeout_s is not None and timeout_s < 0:
+            raise ServingError("timeout_s must be >= 0")
         root_list = [roots] if isinstance(roots, Node) else list(roots)
+        if not root_list:
+            raise ServingError("request needs at least one root")
+        nodes = self._admit_check(root_list)
         with self._counter_lock:
             self._req_counter += 1
             rid = self._req_counter
-        # the O(nodes) traversal is only paid when the policy consults
-        # node counts (MaxTotalNodes); otherwise submit stays O(1)
-        nodes = (count_nodes(root_list)
-                 if self.scheduler.policy.uses_node_counts else 0)
+        submit_t = time.perf_counter()
         req = Request(request_id=rid, roots=root_list, num_nodes=nodes,
-                      submit_t=time.perf_counter())
-        if not self.scheduler.offer(req):
+                      submit_t=submit_t,
+                      deadline_t=(submit_t + timeout_s
+                                  if timeout_s is not None else None),
+                      priority=priority)
+        self._expire_queued()
+        adm = self.scheduler.offer(req)
+        if not adm:
             self.metrics.note_reject()
             raise QueueFullError(
                 f"queue full ({self.scheduler.max_queue} pending); "
                 f"retry after a flush")
+        if adm.victim is not None:
+            adm.victim.handle.set_exception(LoadShedError(
+                f"request {adm.victim.request_id} shed for "
+                f"higher-priority work under overload"))
+            self.metrics.note_shed()
         self.metrics.note_submit()
         if self._thread is not None:
             with self._cond:
@@ -129,6 +308,16 @@ class ModelServer:
         elif self.scheduler.should_flush():
             self.flush()
         return req.handle
+
+    # -- deadline expiry ---------------------------------------------------
+    def _expire_queued(self, now: Optional[float] = None) -> None:
+        """Resolve every queued request whose deadline has passed."""
+        dead = self.scheduler.expire(now)
+        for req in dead:
+            if req.handle.set_exception(DeadlineExceededError(
+                    f"request {req.request_id} expired in queue after "
+                    f"{req.deadline_t - req.submit_t:.3f}s")):
+                self.metrics.note_expired()
 
     # -- flushing ----------------------------------------------------------
     def flush(self) -> int:
@@ -139,6 +328,7 @@ class ModelServer:
         through the affected requests' handles, never raised here.
         """
         with self._flush_lock:
+            self._expire_queued()
             taken = self.scheduler.take()
             if not taken:
                 return 0
@@ -154,34 +344,35 @@ class ModelServer:
                 return total
             total += n
 
+    # -- the resilient flush loop ------------------------------------------
+    def _claim_live(self, reqs: List[Request]) -> List[Request]:
+        """Drop dead requests (cancelled / expired), claim the rest.
+
+        A dropped request's handle is already resolved (cancellation) or
+        resolved here (deadline expiry); a claimed request can no longer
+        be cancelled, so nothing in the returned list resolves under the
+        executor's feet.
+        """
+        now = time.perf_counter()
+        live: List[Request] = []
+        for req in reqs:
+            if req.expired(now):
+                if req.handle.set_exception(DeadlineExceededError(
+                        f"request {req.request_id} deadline passed "
+                        f"before execution")):
+                    self.metrics.note_expired()
+                continue
+            if not req.handle.claim():
+                # resolved by someone else: cancellation (or shed)
+                if req.handle.cancelled:
+                    self.metrics.note_cancelled()
+                continue
+            live.append(req)
+        return live
+
     def _execute_flush(self, taken: List[Request]) -> None:
-        model = self.model
-        flush_t = time.perf_counter()
-        # satellite: drain any buffers a prior run(reuse=True) left leased,
-        # so the arena's contents are deterministic between flushes
-        model.release()
         try:
-            check = self._validate is Validate.ALWAYS or (
-                self._validate is Validate.FIRST and not self._validated)
-            linearizer = (model.lowered.linearizer if check
-                          else model.fast_linearizer())
-            batch = coalesce(taken, linearizer)
-            res = execute_plan(model.plan, batch.lin, model.params,
-                               device=self.device, arena=model.arena)
-            per_request = scatter(batch, res.workspace, self._outputs)
-            model.arena.release_many(res.arena_buffers)
-            if check:
-                self._validated = True
-        except Exception as exc:
-            if len(taken) > 1:
-                # isolate the culprit: one malformed request must not fail
-                # the co-batched requests that happened to ride with it
-                for req in taken:
-                    self._execute_flush([req])
-                return
-            self.metrics.note_flush(len(taken), 0, 0.0, (), failed=True)
-            taken[0].handle.set_exception(exc)
-            return
+            self._run_batch(taken)
         except BaseException:
             # KeyboardInterrupt / SystemExit: fail the handles so no
             # caller blocks forever, but let the interrupt propagate
@@ -189,10 +380,70 @@ class ModelServer:
                 req.handle.set_exception(
                     ServingError("flush interrupted"))
             raise
+
+    def _run_batch(self, reqs: List[Request]) -> None:
+        """Execute one (sub-)batch to final resolution of every handle.
+
+        The loop: claim live requests, attempt the coalesced execution,
+        retry transient failures under the bounded policy with backoff,
+        and bisect persistent multi-request failures so a single culprit
+        fails alone — O(log n) re-executions instead of the seed's O(n)
+        serial isolation.
+        """
+        while True:
+            reqs = self._claim_live(reqs)
+            if not reqs:
+                return
+            try:
+                self._attempt(reqs)
+                return
+            except Exception as exc:
+                if (is_retryable(exc)
+                        and max(r.attempts for r in reqs)
+                        < self.retry.max_attempts):
+                    self.metrics.note_retry(len(reqs))
+                    retry_index = max(r.attempts for r in reqs)
+                    delay = self.retry.backoff_s(retry_index,
+                                                 self._retry_rng)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if len(reqs) > 1:
+                    # bisection isolation: split and recurse, so one
+                    # poisoned request costs O(log n) re-executions
+                    mid = len(reqs) // 2
+                    self.metrics.note_isolation(extra_execs=2)
+                    self._run_batch(reqs[:mid])
+                    self._run_batch(reqs[mid:])
+                    return
+                self._fail_request(reqs[0], exc)
+                return
+
+    def _attempt(self, reqs: List[Request]) -> None:
+        """One coalesced execution attempt; resolves handles on success."""
+        model = self.model
+        flush_t = time.perf_counter()
+        # satellite: drain any buffers a prior run(reuse=True) left leased,
+        # so the arena's contents are deterministic between flushes
+        model.release()
+        for req in reqs:
+            req.attempts += 1
+        check = self._validate is Validate.ALWAYS or (
+            self._validate is Validate.FIRST and not self._validated)
+        linearizer = (model.lowered.linearizer if check
+                      else model.fast_linearizer())
+        batch = coalesce(reqs, linearizer)
+        res = execute_plan(model.plan, batch.lin, model.params,
+                           device=self.device, arena=model.arena,
+                           faults=self.faults)
+        per_request = scatter(batch, res.workspace, self._outputs)
+        model.arena.release_many(res.arena_buffers)
+        if check:
+            self._validated = True
         done_t = time.perf_counter()
         exec_s = done_t - flush_t
         latencies = []
-        for req, outs in zip(taken, per_request):
+        for req, outs in zip(reqs, per_request):
             latency = done_t - req.submit_t
             latencies.append(latency)
             req.handle.set_result(RequestResult(
@@ -203,9 +454,17 @@ class ModelServer:
                 queue_time_s=flush_t - req.submit_t,
                 exec_time_s=exec_s,
                 latency_s=latency,
-                simulated_time_s=res.simulated_time_s))
+                simulated_time_s=res.simulated_time_s,
+                attempts=req.attempts))
+            self._notify(req, None)
         self.metrics.note_flush(batch.num_requests, batch.num_nodes,
                                 exec_s, latencies)
+
+    def _fail_request(self, req: Request, exc: BaseException) -> None:
+        """Final, typed failure of a single isolated request."""
+        if req.handle.set_exception(exc):
+            self.metrics.note_failed()
+            self._notify(req, exc)
 
     # -- streaming ---------------------------------------------------------
     def serve_forever(self, requests: Iterable[Union[Node, Sequence[Node]]]
@@ -292,6 +551,7 @@ class ModelServer:
 
     def _worker(self) -> None:
         while not self._stop:
+            self._expire_queued()
             if self.scheduler.should_flush():
                 self.flush()
             else:
@@ -299,7 +559,8 @@ class ModelServer:
                     if not self._stop and not self.scheduler.should_flush():
                         # empty queue: sleep until a submit/stop notifies;
                         # with requests pending, poll so a Deadline policy
-                        # fires even without new arrivals
+                        # (or a per-request deadline) fires even without
+                        # new arrivals
                         self._cond.wait(self._wake_interval_s
                                         if len(self.scheduler) else None)
         self.drain()
@@ -319,6 +580,8 @@ class ModelServer:
             snap = self.metrics.snapshot(arena=self.model.arena)
         snap["queue_depth"] = len(self.scheduler)
         snap["queue_nodes"] = self.scheduler.pending_nodes
+        if self.faults is not None:
+            snap["faults"] = self.faults.snapshot()
         return snap
 
     def self_check(self, requests: Sequence[Union[Node, Sequence[Node]]],

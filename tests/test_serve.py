@@ -260,7 +260,10 @@ def test_submit_empty_request_rejected():
 
 def test_validation_failure_delivered_via_handle():
     m = _small_model("treernn")
-    srv = m.server(policy=MaxPendingRequests(100))
+    # admission="none" defers structural checks to flush time — this test
+    # covers the mid-flush failure-delivery path (the default admission
+    # mode would reject the DAG at submit(); see test_serve_chaos.py)
+    srv = m.server(policy=MaxPendingRequests(100), admission="none")
     shared = leaf(3)
     dag = branch(branch(shared, leaf(1)), shared)   # DAG fed to a tree model
     h = srv.submit([dag])
@@ -280,7 +283,8 @@ def test_validation_failure_delivered_via_handle():
 def test_flush_failure_isolated_to_culprit_request():
     """One malformed request must not fail the requests it rode with."""
     m = _small_model("treernn")
-    srv = m.server(policy=MaxPendingRequests(100), validate="always")
+    srv = m.server(policy=MaxPendingRequests(100), validate="always",
+                   admission="none")
     rng = np.random.default_rng(41)
     good = [_request("treernn", rng) for _ in range(3)]
     shared = leaf(3)
