@@ -18,7 +18,13 @@ sizes (trees per request) through:
 * ``degraded``    — the flush-32 server under a seeded FaultInjector
   failing 10% of executions with transient kernel faults: what resilience
   (bounded retry + bisection isolation) costs when chaos is actually
-  firing, reported with the stream's end-to-end error rate.
+  firing, reported with the stream's end-to-end error rate;
+* ``traced``      — the flush-32 server with a :class:`repro.obs.Tracer`
+  attached: what full span recording (one root span per request, one
+  span tree per flush) costs over the identical untraced configuration.
+  The tracing-off columns *are* the instrumented code with ``tracer=None``
+  — pointer-check-only hot path — so the f32-vs-per-request gate doubles
+  as the "tracing disabled costs nothing" gate.
 
 Results go to ``BENCH_serve.json`` at the repo root.  The acceptance gate
 is the ``treelstm`` request-size-1 row: coalesced serving (flush 32) must
@@ -34,6 +40,7 @@ import numpy as np
 from conftest import save_result
 from repro.bench import cortex_model, format_table, record_bench_json
 from repro.data import synthetic_treebank
+from repro.obs import Tracer
 from repro.runtime.memory import ArenaStats
 from repro.serve import FaultInjector, MaxPendingRequests
 
@@ -110,6 +117,22 @@ def _run():
             degraded_snap["snap"] = srv.metrics_snapshot()
         per["degraded"] = _time_stream(degraded, **budget)
 
+        traced_info = {}
+
+        def traced():
+            # identical configuration to serve_f32, plus a live Tracer:
+            # the delta between the two columns is the cost of span
+            # recording itself (a fresh tracer per rep keeps the span
+            # ring from carrying over between samples)
+            model.arena.stats = ArenaStats()
+            tracer = Tracer()
+            srv = model.server(policy=MaxPendingRequests(max(FLUSH_SIZES)),
+                               tracer=tracer)
+            srv.serve_forever(requests)
+            traced_info["snap"] = srv.metrics_snapshot()
+            traced_info["spans"] = len(tracer)
+        per["traced"] = _time_stream(traced, **budget)
+
         base = per["per_request"]
         row = [MODEL, rs, base / NUM_REQUESTS * 1e6]
         entry = {"per_request_us": base / NUM_REQUESTS * 1e6,
@@ -125,6 +148,9 @@ def _run():
             entry[f"serve_f{flush}_arena_hit_rate"] = \
                 snap["arena"]["hit_rate"]
             entry[f"serve_f{flush}_error_rate"] = snap["error_rate"]
+            # p50/p99 straight off the latency histogram instrument
+            entry[f"serve_f{flush}_latency_p50_ms"] = snap["latency_p50_ms"]
+            entry[f"serve_f{flush}_latency_p99_ms"] = snap["latency_p99_ms"]
         t = per["degraded"]
         snap = degraded_snap["snap"]
         row += [t / NUM_REQUESTS * 1e6, round(base / t, 2),
@@ -135,6 +161,17 @@ def _run():
         entry["degraded_retries"] = snap["retries"]
         entry["degraded_fault_rate"] = FAULT_RATE
         entry["degraded_kernel_faults"] = snap["faults"]["kernel_failures"]
+        t = per["traced"]
+        untraced = per[f"serve_f{max(FLUSH_SIZES)}"]
+        snap = traced_info["snap"]
+        overhead = t / untraced - 1.0
+        row += [t / NUM_REQUESTS * 1e6, round(overhead * 100, 1)]
+        entry["traced_us"] = t / NUM_REQUESTS * 1e6
+        entry["traced_speedup"] = base / t
+        entry["traced_overhead"] = overhead
+        entry["traced_spans"] = traced_info["spans"]
+        entry["traced_latency_p50_ms"] = snap["latency_p50_ms"]
+        entry["traced_latency_p99_ms"] = snap["latency_p99_ms"]
         rows.append(row)
         results[f"{MODEL}_rs{rs}"] = entry
     return rows, results
@@ -145,13 +182,15 @@ def test_serve_throughput(benchmark):
     headers = ["Model", "Req size", "per-req (us)"]
     for flush in FLUSH_SIZES:
         headers += [f"f{flush} (us)", f"f{flush} x"]
-    headers += ["chaos (us)", "chaos x", "err %"]
+    headers += ["chaos (us)", "chaos x", "err %", "traced (us)",
+                "trace ov %"]
     table = format_table(
         headers, rows,
         title=f"Per-request serving wall time, hidden={HIDDEN}, "
               f"{NUM_REQUESTS}-request stream (coalesced flush vs "
               f"per-request run(); chaos = flush {max(FLUSH_SIZES)} under "
-              f"{FAULT_RATE:.0%} injected transient kernel faults)")
+              f"{FAULT_RATE:.0%} injected transient kernel faults; traced "
+              f"= flush {max(FLUSH_SIZES)} with a live span recorder)")
     save_result("serve_throughput", table)
     record_bench_json(JSON_PATH, {
         "benchmark": "serve_throughput",
@@ -170,3 +209,6 @@ def test_serve_throughput(benchmark):
     # flush must beat the no-coalescing server configuration too.
     assert (results[f"{MODEL}_rs1"]["serve_f32_speedup"]
             > results[f"{MODEL}_rs1"]["serve_f1_speedup"]), results
+    # Span recording must not eat the coalescing win: the traced server
+    # holds the same >= 2x gate the untraced one does.
+    assert results[f"{MODEL}_rs1"]["traced_speedup"] >= 2.0, results

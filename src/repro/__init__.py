@@ -13,8 +13,8 @@ the legacy keyword shim.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for the paper-vs-measured record of every table and figure.
 """
 
-from . import (api, authoring, data, ilir, ir, linearizer, models, options,
-               ra, runtime, serve)
+from . import (api, authoring, data, ilir, ir, linearizer, models, obs,
+               options, ra, runtime, serve)
 from .api import (CortexModel, ModelHandle, compile,  # noqa: A004 - the API
                   compile_model)
 from .authoring import ModelDef
@@ -26,7 +26,8 @@ from .pipeline import CompilerPipeline, CompileReport, Session, StageRecord
 __version__ = "0.2.0"
 
 __all__ = ["api", "authoring", "data", "ilir", "ir", "linearizer", "models",
-           "options", "ra", "runtime", "serve", "CortexModel", "ModelHandle",
+           "obs", "options", "ra", "runtime", "serve", "CortexModel",
+           "ModelHandle",
            "ModelDef", "compile",
            "compile_model", "CortexError", "CompileOptions", "Validate",
            "PAPER_HEADLINE", "UNFUSED_ABLATION", "DEBUG", "PRESETS",

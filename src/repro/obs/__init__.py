@@ -1,0 +1,38 @@
+"""Observability: tracing, a unified metrics registry, and exporters.
+
+The package has four parts, layered bottom-up:
+
+* :mod:`~repro.obs.clock` — the shared :class:`Clock` protocol and the
+  :class:`FakeClock` test double every time-dependent component accepts;
+* :mod:`~repro.obs.trace` — :class:`Tracer` / :class:`Span`: bounded,
+  deterministic, hierarchical spans with per-request trace ids;
+* :mod:`~repro.obs.registry` — :class:`MetricsRegistry` with typed
+  Counter / Gauge / Histogram instruments and Prometheus-style labels;
+* :mod:`~repro.obs.export` — Prometheus text, JSON metrics, and Chrome
+  trace-event JSON renderers plus a schema validator CI runs on every
+  exported trace.
+
+Nothing here imports the serving or runtime layers; they depend on this
+package, never the reverse.
+"""
+
+from .clock import SYSTEM_CLOCK, Clock, FakeClock
+from .export import (TraceFormatError, chrome_trace, metrics_json,
+                     to_prometheus, validate_chrome_trace,
+                     write_chrome_trace)
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       MetricError, MetricFamily, MetricsRegistry)
+from .trace import (STATUS_CANCELLED, STATUS_DEADLINE, STATUS_ERROR,
+                    STATUS_OK, STATUS_SHED, STATUS_UNSET, Span, SpanEvent,
+                    Tracer, record_compile_report)
+
+__all__ = [
+    "Clock", "SYSTEM_CLOCK", "FakeClock",
+    "Span", "SpanEvent", "Tracer", "record_compile_report",
+    "STATUS_OK", "STATUS_ERROR", "STATUS_CANCELLED", "STATUS_DEADLINE",
+    "STATUS_SHED", "STATUS_UNSET",
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "MetricError", "DEFAULT_BUCKETS",
+    "to_prometheus", "metrics_json", "chrome_trace", "write_chrome_trace",
+    "validate_chrome_trace", "TraceFormatError",
+]

@@ -1,0 +1,67 @@
+"""One clock protocol for every time-dependent observability component.
+
+Before this module, the runtime had two independent notions of "now": the
+:class:`~repro.serve.CircuitBreaker` took an injectable ``clock``
+callable (defaulting to ``time.monotonic``) while everything else called
+``time.perf_counter()`` inline.  :class:`Clock` names the shared
+contract — a zero-argument callable returning monotonic seconds — and
+:class:`FakeClock` is the single test double that drives spans, breaker
+cool-downs, scheduler deadlines and tracer timestamps from one
+hand-advanced timeline, so a chaos test never has to reconcile two
+drifting fake clocks.
+
+``time.monotonic`` and ``time.perf_counter`` both satisfy the protocol;
+:data:`SYSTEM_CLOCK` is the package-wide default (``perf_counter``, the
+higher-resolution of the two on every supported platform).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic time source: call it, get seconds as a float.
+
+    Implementations must be monotonic non-decreasing; the absolute epoch
+    is arbitrary (only differences are meaningful).  Plain functions like
+    ``time.monotonic`` satisfy the protocol structurally.
+    """
+
+    def __call__(self) -> float: ...
+
+
+#: the default time source everywhere a :class:`Clock` is accepted
+SYSTEM_CLOCK: Clock = time.perf_counter
+
+
+class FakeClock:
+    """A hand-advanced :class:`Clock` for deterministic tests.
+
+    Starts at ``t0`` and only moves when :meth:`advance` is called, so a
+    test can step breaker cool-downs, span durations and deadline expiry
+    through one explicit timeline::
+
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        breaker = CircuitBreaker(reset_timeout_s=5.0, clock=clock)
+        clock.advance(5.0)        # both observe the same 5 seconds
+    """
+
+    def __init__(self, t0: float = 0.0):
+        self.t = float(t0)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, s: float) -> float:
+        """Move time forward by ``s`` seconds (negative values refused)."""
+        if s < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.t += s
+        return self.t
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FakeClock(t={self.t})"

@@ -1,0 +1,231 @@
+"""Exporters: Prometheus text + JSON for metrics, Chrome trace for spans.
+
+Three output formats, all derived from the neutral in-memory forms
+(:meth:`~repro.obs.registry.MetricsRegistry.collect` for metrics,
+finished :class:`~repro.obs.trace.Span` lists for traces):
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` triplets) — paste it behind
+  any HTTP handler and a standard scraper ingests it;
+* :func:`metrics_json` — the same data as one nested JSON-safe dict for
+  logging pipelines and tests;
+* :func:`chrome_trace` — spans as Chrome trace-event JSON (``ph: "X"``
+  complete events, ``ph: "i"`` instants), loadable in Perfetto /
+  ``chrome://tracing``; :func:`validate_chrome_trace` checks the schema
+  the viewers require (``name``/``ph``/``ts``/``pid``/``tid``, ``dur``
+  on complete events), which CI runs against every exported file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional
+
+from .registry import MetricsRegistry
+from .trace import Span, SpanEvent
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and math.isnan(v):
+        return "NaN"
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _fmt_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{str(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered family in Prometheus text format."""
+    lines: List[str] = []
+    for fam in registry.collect():
+        name, kind = fam["name"], fam["kind"]
+        if fam["description"]:
+            lines.append(f"# HELP {name} {fam['description']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in fam["samples"]:
+            if kind == "histogram":
+                for bound, count in value["buckets"]:
+                    le = "+Inf" if bound == math.inf else _fmt_value(bound)
+                    le_label = 'le="%s"' % le
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_fmt_labels(labels, le_label)} {count}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_value(value['sum'])}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} "
+                             f"{value['count']}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} "
+                             f"{_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry as one JSON-safe nested dict.
+
+    ``{name: {"kind", "description", "samples": [{"labels", "value"} |
+    {"labels", "count", "sum", "buckets"}]}}`` — histogram bucket bounds
+    render ``inf`` as the string ``"+Inf"`` so the result survives
+    ``json.dumps`` round-trips.
+    """
+    out: Dict[str, object] = {}
+    for fam in registry.collect():
+        samples = []
+        for labels, value in fam["samples"]:
+            if fam["kind"] == "histogram":
+                samples.append({
+                    "labels": labels,
+                    "count": value["count"],
+                    "sum": value["sum"],
+                    "buckets": [["+Inf" if b == math.inf else b, c]
+                                for b, c in value["buckets"]],
+                })
+            else:
+                v = value
+                if isinstance(v, float) and (math.isnan(v)
+                                             or math.isinf(v)):
+                    v = None
+                samples.append({"labels": labels, "value": v})
+        out[fam["name"]] = {"kind": fam["kind"],
+                            "description": fam["description"],
+                            "samples": samples}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# traces
+
+
+def _tid_map(spans: Iterable[Span]) -> Dict[int, int]:
+    """Stable small ints for thread ids (Perfetto lanes read better)."""
+    out: Dict[int, int] = {}
+    for span in spans:
+        if span.thread_id not in out:
+            out[span.thread_id] = len(out) + 1
+    return out
+
+
+def chrome_trace(spans: List[Span],
+                 instants: Optional[List[SpanEvent]] = None, *,
+                 process_name: str = "repro") -> dict:
+    """Spans (+ standalone instants) as a Chrome trace-event document.
+
+    Every closed span becomes one complete event (``ph: "X"``) with
+    microsecond ``ts``/``dur``; span events and standalone instants
+    become instant events (``ph: "i"``).  Trace/span/parent ids travel
+    in ``args`` so a viewer's search finds all spans of one request.
+    """
+    tids = _tid_map(spans)
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        if not span.closed:
+            continue
+        tid = tids.get(span.thread_id, 0)
+        args = {"trace_id": span.trace_id, "span_id": span.span_id,
+                "status": span.status}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update({k: _json_safe(v) for k, v in span.attributes.items()})
+        events.append({
+            "name": span.name, "cat": "span", "ph": "X",
+            "ts": span.start_t * 1e6, "dur": span.duration_s * 1e6,
+            "pid": 1, "tid": tid, "args": args,
+        })
+        for ev in span.events:
+            events.append({
+                "name": f"{span.name}.{ev.name}", "cat": "event",
+                "ph": "i", "s": "t", "ts": ev.t * 1e6, "pid": 1,
+                "tid": tid,
+                "args": {"trace_id": span.trace_id,
+                         "span_id": span.span_id,
+                         **{k: _json_safe(v)
+                            for k, v in ev.attributes.items()}},
+            })
+    for ev in (instants or []):
+        events.append({
+            "name": ev.name, "cat": "instant", "ph": "i", "s": "g",
+            "ts": ev.t * 1e6, "pid": 1, "tid": 0,
+            "args": {k: _json_safe(v) for k, v in ev.attributes.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _json_safe(v: object) -> object:
+    if isinstance(v, (str, int, bool)) or v is None:
+        return v
+    if isinstance(v, float):
+        return v if math.isfinite(v) else str(v)
+    return str(v)
+
+
+def write_chrome_trace(path: str, spans: List[Span],
+                       instants: Optional[List[SpanEvent]] = None, *,
+                       process_name: str = "repro") -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the document."""
+    doc = chrome_trace(spans, instants, process_name=process_name)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+    return doc
+
+
+class TraceFormatError(ValueError):
+    """An exported trace violates the Chrome trace-event schema."""
+
+
+def validate_chrome_trace(doc: object) -> int:
+    """Schema-check one trace-event document; returns the event count.
+
+    Enforces what Perfetto / ``chrome://tracing`` require to load the
+    file: a ``traceEvents`` list (or a bare list) whose entries carry
+    ``name``/``ph``/``ts``/``pid``/``tid``, numeric non-negative
+    ``ts``/``dur``, and a ``dur`` on every complete (``X``) event.
+    Raises :class:`TraceFormatError` with the offending index otherwise.
+    """
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            raise TraceFormatError("document has no traceEvents list")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        raise TraceFormatError(
+            f"expected a dict or list, got {type(doc).__name__}")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise TraceFormatError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise TraceFormatError(f"event {i} missing {key!r}")
+        if ev["ph"] != "M":          # metadata events carry no timestamp
+            if "ts" not in ev:
+                raise TraceFormatError(f"event {i} missing 'ts'")
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                raise TraceFormatError(f"event {i} has bad ts "
+                                       f"{ev['ts']!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                raise TraceFormatError(
+                    f"event {i} is complete ('X') but has no 'dur'")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                raise TraceFormatError(f"event {i} has bad dur "
+                                       f"{ev['dur']!r}")
+    return len(events)

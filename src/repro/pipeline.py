@@ -31,6 +31,7 @@ import numpy as np
 from .api import CortexModel
 from .ilir.codegen.compiled import CompiledModule
 from .models.registry import ModelSpec, resolve_model
+from .obs import STATUS_ERROR, Tracer
 from .options import CompileOptions
 from .ra.lowering import lower, run_codegen
 from .runtime.plan import get_host_plan
@@ -94,12 +95,22 @@ class CompilerPipeline:
     ``on_stage`` (constructor-level, and/or per-call) observes every
     :class:`StageRecord` as its stage finishes; ``compile_count`` tallies
     full pipeline runs (the probe Session cache tests use).
+
+    ``tracer`` (optional, an :class:`~repro.obs.Tracer`) records each
+    compilation as a ``compile`` root span with one ``compile.<stage>``
+    child per stage — the same trace stream the serving layer writes
+    into, so one Chrome trace shows compile and serve side by side.
+    Stage timestamps come from ``perf_counter`` (the same clock the
+    :class:`StageRecord` wall times use), so keep the tracer on its
+    default clock when mixing with compile spans.
     """
 
     stages = STAGES
 
-    def __init__(self, *, on_stage: Optional[StageHook] = None):
+    def __init__(self, *, on_stage: Optional[StageHook] = None,
+                 tracer: Optional[Tracer] = None):
         self.on_stage = on_stage
+        self.tracer = tracer
         self.compile_count = 0
 
     def compile(self, model: Union[str, ModelSpec],
@@ -121,37 +132,53 @@ class CompilerPipeline:
         opts.validate()
         hooks = [h for h in (self.on_stage, on_stage) if h is not None]
         report = CompileReport(model=spec.short_name, options=opts)
+        compile_span = (self.tracer.start_span(
+            "compile", attributes={"model": spec.short_name,
+                                   "options": opts.summary()})
+            if self.tracer is not None else None)
 
         def finish(stage: str, t0: float) -> None:
-            record = StageRecord(stage, time.perf_counter() - t0)
+            now = time.perf_counter()
+            record = StageRecord(stage, now - t0)
             report.stages.append(record)
+            if compile_span is not None:
+                self.tracer.add_span(f"compile.{stage}", t0, now,
+                                     parent=compile_span)
             for hook in hooks:
                 hook(record)
 
-        t0 = time.perf_counter()
-        prog = spec.build_program(hidden, vocab, **build_kw)
-        model_params = (dict(params) if params is not None
-                        else spec.make_params(hidden, vocab, rng=rng,
-                                              **build_kw))
-        finish("build", t0)
+        try:
+            t0 = time.perf_counter()
+            prog = spec.build_program(hidden, vocab, **build_kw)
+            model_params = (dict(params) if params is not None
+                            else spec.make_params(hidden, vocab, rng=rng,
+                                                  **build_kw))
+            finish("build", t0)
 
-        t0 = time.perf_counter()
-        opts.apply(prog)
-        finish("schedule", t0)
+            t0 = time.perf_counter()
+            opts.apply(prog)
+            finish("schedule", t0)
 
-        t0 = time.perf_counter()
-        lowered = lower(prog, rational_approx=opts.rational_approx,
-                        strict_bounds=opts.strict_bounds, codegen=False)
-        finish("lower", t0)
+            t0 = time.perf_counter()
+            lowered = lower(prog, rational_approx=opts.rational_approx,
+                            strict_bounds=opts.strict_bounds, codegen=False)
+            finish("lower", t0)
 
-        t0 = time.perf_counter()
-        run_codegen(lowered.module)
-        finish("codegen", t0)
+            t0 = time.perf_counter()
+            run_codegen(lowered.module)
+            finish("codegen", t0)
 
-        t0 = time.perf_counter()
-        compiled = CompiledModule(lowered.module)
-        plan = get_host_plan(lowered, compiled)
-        finish("plan", t0)
+            t0 = time.perf_counter()
+            compiled = CompiledModule(lowered.module)
+            plan = get_host_plan(lowered, compiled)
+            finish("plan", t0)
+        except BaseException as exc:
+            if compile_span is not None:
+                compile_span.set_attribute("exception", type(exc).__name__)
+                compile_span.end(STATUS_ERROR)
+            raise
+        if compile_span is not None:
+            compile_span.end()
 
         self.compile_count += 1
         return CortexModel(spec=spec, program=prog, lowered=lowered,

@@ -7,7 +7,7 @@ from .executor import (ExecutionResult, allocate_workspace, build_scalars,
 from .memory import (ArenaStats, MemoryReport, WorkspaceArena,
                      measure_memory, size_bucket)
 from .plan import HostPlan, build_host_plan, execute_plan, get_host_plan
-from .profiler import ActivityBreakdown, breakdown_from_cost
+from .profiler import ActivityBreakdown, KernelProfiler, breakdown_from_cost
 
 __all__ = [
     "CostReport", "NestTraffic", "estimate_cost", "nest_traffic", "ARM",
@@ -16,5 +16,5 @@ __all__ = [
     "run_model", "HostPlan", "build_host_plan", "execute_plan",
     "get_host_plan", "ArenaStats", "MemoryReport", "WorkspaceArena",
     "measure_memory", "size_bucket", "ActivityBreakdown",
-    "breakdown_from_cost",
+    "KernelProfiler", "breakdown_from_cost",
 ]

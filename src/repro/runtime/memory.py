@@ -156,6 +156,38 @@ class WorkspaceArena:
     def pooled_bytes(self) -> int:
         return sum(a.nbytes for pool in self._pools.values() for a in pool)
 
+    def bind_metrics(self, registry) -> "WorkspaceArena":
+        """Report pool health into an :class:`~repro.obs.MetricsRegistry`.
+
+        Registers callback gauges that read the arena live at scrape
+        time — including through a wholesale ``arena.stats``
+        replacement, since the callbacks dereference ``self.stats``
+        fresh on every read.  The registered names are per-registry
+        singletons; bind one arena per registry (the model server binds
+        its own arena into its own registry).
+        """
+        registry.gauge("arena_hits", "pooled-buffer reuse hits",
+                       fn=lambda: self.stats.hits)
+        registry.gauge("arena_misses", "pool misses (fresh allocations)",
+                       fn=lambda: self.stats.misses)
+        registry.gauge("arena_hit_rate", "hits / (hits + misses)",
+                       fn=lambda: self.stats.hit_rate)
+        registry.gauge("arena_zero_fills",
+                       "reused buffers re-zeroed (needs_zero analysis)",
+                       fn=lambda: self.stats.zero_fills)
+        registry.gauge("arena_evicted_arrays", "arrays dropped from pools",
+                       fn=lambda: self.stats.evicted_arrays)
+        registry.gauge("arena_evicted_buckets",
+                       "LRU size buckets evicted whole",
+                       fn=lambda: self.stats.evicted_buckets)
+        registry.gauge("arena_pooled_bytes", "bytes parked in the pools",
+                       fn=lambda: self.pooled_bytes)
+        registry.gauge("arena_pooled_arrays", "arrays parked in the pools",
+                       fn=lambda: sum(len(p) for p in self._pools.values()))
+        registry.gauge("arena_buckets", "live size buckets",
+                       fn=lambda: len(self._buckets))
+        return self
+
     def snapshot(self) -> Dict[str, float]:
         """Stats counters plus the current pool footprint, as one dict.
 

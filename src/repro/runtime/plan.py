@@ -286,7 +286,7 @@ def get_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
 
 def execute_plan(plan: HostPlan, lin: Linearized,
                  params: Mapping[str, np.ndarray], *,
-                 device=None, arena=None, faults=None):
+                 device=None, arena=None, faults=None, profiler=None):
     """Run the precompiled host program over one linearized input batch.
 
     The launch sequence replays the reference host loop exactly — pre and
@@ -300,42 +300,57 @@ def execute_plan(plan: HostPlan, lin: Linearized,
     exception).  When an exception escapes mid-execution — injected or
     genuine — every arena-leased buffer is released back to the pool
     before it propagates, so a failed call never shrinks the arena.
+
+    ``profiler`` is an optional :class:`~repro.runtime.profiler
+    .KernelProfiler`: every launch record is wrapped in a per-call timing
+    closure and the workspace/launch phase totals are recorded.  Without
+    one (the default) the launch loop runs the plan's raw callables.
     """
     from .executor import ExecutionResult
 
     if faults is not None:
         faults.on_execution()
         faults.check_arena()
+    t_ws = time.perf_counter() if profiler is not None else 0.0
     c = plan.bind_scalars(lin)
     ws, leased = plan.make_workspace(lin, params, arena)
+    if profiler is not None:
+        pre = profiler.wrap(plan.pre)
+        leaf = profiler.wrap(plan.leaf)
+        level = profiler.wrap(plan.level)
+        fused = profiler.wrap(plan.fused)
+        post = profiler.wrap(plan.post)
+    else:
+        pre, leaf, level = plan.pre, plan.leaf, plan.level
+        fused, post = plan.fused, plan.post
 
     t0 = time.perf_counter()
     try:
         if faults is not None:
             faults.check_kernel()
-        for _, fn in plan.pre:
+        for _, fn in pre:
             fn(ws, c)
 
-        if plan.leaf or plan.level:
+        if leaf or level:
             begins = lin.batch_begin.tolist()
             lengths = lin.batch_length.tolist()
 
-        if plan.leaf:
+        if leaf:
             nlb = c["leaf_batch_count"]
-            for _, fn in plan.leaf:
+            for _, fn in leaf:
                 for lb in range(nlb):
                     fn(ws, c, begins[lb], lengths[lb])
 
-        if plan.level:
+        if level:
             for b in range(c["level_start"], c["num_batches"]):
                 begin = begins[b]
                 length = lengths[b]
-                for _, fn in plan.level:
+                for _, fn in level:
                     fn(ws, c, begin, length)
 
-        for _, fn in plan.fused:
+        for _, fn in fused:
             fn(ws, c)
-        for _, fn in plan.post:
+        for _, fn in post:
             fn(ws, c)
     except BaseException:
         # a failed execution must not leak its workspace: the leased
@@ -347,6 +362,8 @@ def execute_plan(plan: HostPlan, lin: Linearized,
         raise
 
     wall = time.perf_counter() - t0
+    if profiler is not None:
+        profiler.note_execution(t0 - t_ws, wall)
 
     result = ExecutionResult(workspace=ws, lin=lin,
                              state_buffers=list(plan.module.state_buffers),

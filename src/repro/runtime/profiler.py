@@ -6,12 +6,24 @@ can print one row per framework:
 
     dynamic batching / graph construction | memory management (CPU/GPU) |
     GPU computation time | #kernel calls | CPU "CUDA API" time | exec time
+
+Two sources can fill the Cortex row:
+
+* :func:`breakdown_from_cost` — the *modeled* row, from the analytical
+  cost model (what the simulated-device benchmarks report);
+* :class:`KernelProfiler` — the *measured* row: wall-clock per-kernel
+  launch times captured by wrapping the host plan's launch records
+  (``execute_plan(..., profiler=...)``), off by default because even a
+  cheap pair of ``perf_counter`` calls per launch is measurable on
+  microsecond kernels.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .costmodel import CostReport
 
@@ -44,6 +56,134 @@ class ActivityBreakdown:
             "CPU API time (ms)": round(self.api_time_s * ms, 3),
             "Exe. time (ms)": round(self.exec_time_s * ms, 3),
         }
+
+
+class KernelProfiler:
+    """Per-kernel wall time and call counts for plan-based execution.
+
+    Pass one to ``execute_plan`` (or ``ModelServer(profiler=...)``) and
+    every launch record is wrapped in a timing closure; :meth:`snapshot`
+    reports per-kernel call counts and totals, and :meth:`breakdown`
+    renders the accumulated time as a first-party, *measured*
+    :class:`ActivityBreakdown` row (the modeled row comes from
+    :func:`breakdown_from_cost`).
+
+    Off by default everywhere: when no profiler is supplied the launch
+    loop runs the raw callables — zero added work.  Thread-safe; the
+    clock is injectable (any :class:`~repro.obs.Clock`).
+    """
+
+    def __init__(self, *, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        #: kernel name -> [calls, total seconds]
+        self._kernels: Dict[str, List[float]] = {}
+        self.executions = 0
+        self.linearize_s = 0.0
+        self.workspace_s = 0.0
+        self.exec_s = 0.0
+
+    # -- recording (execute_plan side) -------------------------------------
+    def wrap(self, records: Sequence[Tuple[str, Callable]]
+             ) -> List[Tuple[str, Callable]]:
+        """Launch records with each callable replaced by a timed closure.
+
+        The closure forwards ``*args`` untouched, so it wraps every host
+        phase uniformly — ``fn(ws, c)`` kernels and the leaf/level
+        ``fn(ws, c, begin, length)`` flavor alike.
+        """
+        out: List[Tuple[str, Callable]] = []
+        for name, fn in records:
+            def timed(*args, _fn=fn, _name=name):
+                t0 = self._clock()
+                r = _fn(*args)
+                self.note(_name, self._clock() - t0)
+                return r
+            out.append((name, timed))
+        return out
+
+    def note(self, kernel: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._kernels.get(kernel)
+            if entry is None:
+                self._kernels[kernel] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+
+    def note_execution(self, workspace_s: float, exec_s: float) -> None:
+        """One completed ``execute_plan`` call's phase totals."""
+        with self._lock:
+            self.executions += 1
+            self.workspace_s += workspace_s
+            self.exec_s += exec_s
+
+    def note_linearize(self, seconds: float) -> None:
+        """Linearization (dynamic batching) time, fed by the server."""
+        with self._lock:
+            self.linearize_s += seconds
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def kernel_calls(self) -> int:
+        with self._lock:
+            return int(sum(c for c, _ in self._kernels.values()))
+
+    @property
+    def kernel_time_s(self) -> float:
+        with self._lock:
+            return sum(s for _, s in self._kernels.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Per-kernel counts/times plus phase totals, as plain data."""
+        with self._lock:
+            kernels = {
+                name: {"calls": int(calls), "total_s": total,
+                       "mean_us": (total / calls * 1e6) if calls else 0.0}
+                for name, (calls, total) in sorted(self._kernels.items())}
+            return {
+                "executions": self.executions,
+                "kernel_calls": int(sum(c for c, _ in
+                                        self._kernels.values())),
+                "kernel_time_s": sum(s for _, s in self._kernels.values()),
+                "linearize_s": self.linearize_s,
+                "workspace_s": self.workspace_s,
+                "exec_s": self.exec_s,
+                "kernels": kernels,
+            }
+
+    def breakdown(self, framework: str = "Cortex (measured)"
+                  ) -> ActivityBreakdown:
+        """The measured Table 6 row.
+
+        Dynamic batching is linearization time, CPU memory management is
+        workspace assembly, GPU compute is the summed kernel-launch wall
+        time, and "CPU API time" is the launch-loop remainder (execution
+        wall time not inside any kernel callable).
+        """
+        with self._lock:
+            kernel_s = sum(s for _, s in self._kernels.values())
+            calls = int(sum(c for c, _ in self._kernels.values()))
+            return ActivityBreakdown(
+                framework=framework,
+                dynamic_batching_s=self.linearize_s,
+                graph_construction_s=0.0,
+                mem_mgmt_cpu_s=self.workspace_s,
+                mem_mgmt_gpu_s=0.0,
+                gpu_compute_s=kernel_s,
+                kernel_calls=calls,
+                memcpy_calls=0,
+                api_time_s=max(0.0, self.exec_s - kernel_s),
+                exec_time_s=self.exec_s + self.workspace_s,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._kernels.clear()
+            self.executions = 0
+            self.linearize_s = 0.0
+            self.workspace_s = 0.0
+            self.exec_s = 0.0
 
 
 def breakdown_from_cost(report: CostReport,

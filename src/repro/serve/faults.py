@@ -139,6 +139,24 @@ class FaultInjector:
                 self._raise("injected fault: kernel launch failed")
 
     # -- observability -----------------------------------------------------
+    def bind_metrics(self, registry) -> "FaultInjector":
+        """Report injection counters into a shared metrics registry.
+
+        Callback gauges read the injector live at scrape time (they
+        survive :meth:`reset`); one injector per registry — the model
+        server binds its injector into its own registry.
+        """
+        registry.gauge("faults_executions", "executions seen by the injector",
+                       fn=lambda: self.executions)
+        registry.gauge("faults_kernel_failures", "injected kernel exceptions",
+                       fn=lambda: self.kernel_failures)
+        registry.gauge("faults_arena_failures",
+                       "injected workspace allocation failures",
+                       fn=lambda: self.arena_failures)
+        registry.gauge("faults_slow_flushes", "injected slow flushes",
+                       fn=lambda: self.slow_flushes)
+        return self
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {

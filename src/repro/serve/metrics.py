@@ -1,148 +1,228 @@
 """Serving metrics: throughput, latency percentiles, batch occupancy.
 
-One :class:`ServerMetrics` instance per server.  The server's flush loop
-feeds it; :meth:`ServerMetrics.snapshot` renders everything as one flat
-dict suitable for logging or a monitoring scrape, including the workspace
-arena's counters (hit rate, pooled bytes) when an arena is supplied.
+One :class:`ServerMetrics` instance per server, backed by the unified
+:class:`~repro.obs.MetricsRegistry` — every counter is a registry
+Counter family and every distribution a registry Histogram, so the same
+numbers that feed :meth:`snapshot` (the flat dict the server has always
+exposed) are also scrapeable in Prometheus text format or JSON via the
+exporters in :mod:`repro.obs.export`.  Other serving components
+(:class:`~repro.serve.router.CircuitBreaker`, the fault injector, the
+workspace arena) register into the **same** registry through their
+``bind_metrics`` hooks, giving one scrape for the whole serving stack.
 
-Latency and occupancy distributions are kept in bounded sliding windows so
-a long-running server's metrics reflect recent traffic at O(window) memory.
+The recording API (``note_submit`` / ``note_flush`` / ...) and the
+:meth:`snapshot` keys are unchanged from the pre-registry
+implementation; latency and occupancy percentiles still come from
+bounded sliding windows (the histograms keep a raw-sample window beside
+their cumulative buckets), so a long-running server's metrics reflect
+recent traffic at O(window) memory.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
-from typing import Deque, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
+from ..obs import Clock, MetricsRegistry
 from ..runtime.memory import WorkspaceArena
+
+#: bucket bounds for per-flush occupancy (requests / nodes per mega-batch)
+_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 class ServerMetrics:
     """Counters plus sliding-window distributions for one model server.
 
-    Thread-safe: the worker thread records while callers snapshot.
+    Thread-safe: the worker thread records while callers snapshot or
+    scrape.  Pass a shared ``registry`` to aggregate several servers'
+    components into one scrape (instrument names are per-process, so two
+    *servers* sharing a registry would collide — share across components
+    of one server, not across servers).
     """
 
-    def __init__(self, window: int = 4096):
-        self._lock = threading.Lock()
-        self._t0 = time.perf_counter()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.flushes = 0
-        self.nodes_processed = 0
-        #: resilience counters (request lifecycle + fault handling)
-        self.retries = 0
-        self.isolations = 0
-        self.isolation_execs = 0
-        self.expired = 0
-        self.cancelled = 0
-        self.shed = 0
+    def __init__(self, window: int = 4096, *,
+                 registry: Optional[MetricsRegistry] = None,
+                 clock: Optional[Clock] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._t0 = self._clock()
+        r = self.registry
+        self._submitted = r.counter(
+            "serve_requests_submitted_total", "requests accepted by submit()")
+        self._rejected = r.counter(
+            "serve_requests_rejected_total",
+            "requests refused at admission (queue full, validation)")
+        self._completed = r.counter(
+            "serve_requests_completed_total", "requests resolved with a result")
+        self._failed = r.counter(
+            "serve_requests_failed_total", "requests resolved with an error")
+        self._flushes = r.counter(
+            "serve_flushes_total", "mega-batch flushes executed")
+        self._nodes = r.counter(
+            "serve_nodes_processed_total",
+            "structure nodes executed in successful flushes")
+        self._retries = r.counter(
+            "serve_retries_total", "transient-failure retry attempts")
+        self._isolations = r.counter(
+            "serve_isolations_total",
+            "failed batches bisected to isolate a poison request")
+        self._isolation_execs = r.counter(
+            "serve_isolation_execs_total",
+            "extra sub-batch executions spent on isolation")
+        self._expired = r.counter(
+            "serve_requests_expired_total",
+            "requests that hit their deadline before execution")
+        self._cancelled = r.counter(
+            "serve_requests_cancelled_total",
+            "queued requests cancelled before execution")
+        self._shed = r.counter(
+            "serve_requests_shed_total",
+            "admitted requests evicted for higher-priority work")
         #: per-request end-to-end latency (submit -> result set), seconds
-        self._latencies: Deque[float] = deque(maxlen=window)
+        self._latency = r.histogram(
+            "serve_request_latency_seconds",
+            "end-to-end request latency (submit to result)", window=window)
         #: per-flush occupancy: requests and structure nodes per mega-batch
-        self._flush_requests: Deque[int] = deque(maxlen=window)
-        self._flush_nodes: Deque[int] = deque(maxlen=window)
-        self._flush_exec_s: Deque[float] = deque(maxlen=window)
+        self._occ_requests = r.histogram(
+            "serve_flush_occupancy_requests",
+            "requests coalesced per flush", buckets=_OCCUPANCY_BUCKETS,
+            window=window)
+        self._occ_nodes = r.histogram(
+            "serve_flush_occupancy_nodes",
+            "structure nodes coalesced per flush",
+            buckets=_OCCUPANCY_BUCKETS, window=window)
+        self._flush_exec = r.histogram(
+            "serve_flush_exec_seconds",
+            "wall time of each successful flush execution", window=window)
+        r.gauge("serve_uptime_seconds", "seconds since server start",
+                fn=lambda: self._clock() - self._t0)
 
     # -- recording (server side) -------------------------------------------
     def note_submit(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
 
     def note_reject(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def note_retry(self, num_requests: int = 1) -> None:
         """One transient-failure retry attempt covering ``num_requests``."""
-        with self._lock:
-            self.retries += 1
+        self._retries.inc()
 
     def note_isolation(self, extra_execs: int) -> None:
         """A failed multi-request batch was bisected into sub-batches."""
-        with self._lock:
-            self.isolations += 1
-            self.isolation_execs += extra_execs
+        self._isolations.inc()
+        self._isolation_execs.inc(extra_execs)
 
     def note_expired(self, n: int = 1) -> None:
         """``n`` requests hit their deadline before being served."""
-        with self._lock:
-            self.expired += n
+        self._expired.inc(n)
 
     def note_cancelled(self, n: int = 1) -> None:
         """``n`` queued requests were cancelled before execution."""
-        with self._lock:
-            self.cancelled += n
+        self._cancelled.inc(n)
 
     def note_shed(self, n: int = 1) -> None:
         """``n`` admitted requests were evicted for higher-priority work."""
-        with self._lock:
-            self.shed += n
+        self._shed.inc(n)
 
     def note_failed(self, n: int = 1) -> None:
         """``n`` requests failed outside a whole-flush failure."""
-        with self._lock:
-            self.failed += n
+        self._failed.inc(n)
 
     def note_flush(self, num_requests: int, num_nodes: int, exec_s: float,
                    latencies: Sequence[float], *, failed: bool = False
                    ) -> None:
-        with self._lock:
-            self.flushes += 1
-            if failed:
-                self.failed += num_requests
-            else:
-                self.completed += num_requests
-                self.nodes_processed += num_nodes
-                self._flush_requests.append(num_requests)
-                self._flush_nodes.append(num_nodes)
-                self._flush_exec_s.append(exec_s)
-                self._latencies.extend(latencies)
+        self._flushes.inc()
+        if failed:
+            self._failed.inc(num_requests)
+        else:
+            self._completed.inc(num_requests)
+            self._nodes.inc(num_nodes)
+            self._occ_requests.observe(num_requests)
+            self._occ_nodes.observe(num_nodes)
+            self._flush_exec.observe(exec_s)
+            self._latency.observe_many(latencies)
+
+    # -- counter views (legacy attribute access) ----------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def flushes(self) -> int:
+        return int(self._flushes.value)
+
+    @property
+    def nodes_processed(self) -> int:
+        return int(self._nodes.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def isolations(self) -> int:
+        return int(self._isolations.value)
+
+    @property
+    def isolation_execs(self) -> int:
+        return int(self._isolation_execs.value)
+
+    @property
+    def expired(self) -> int:
+        return int(self._expired.value)
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._cancelled.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
 
     # -- reporting ---------------------------------------------------------
     def snapshot(self, arena: Optional[WorkspaceArena] = None
                  ) -> Dict[str, object]:
         """Everything as one dict; percentiles over the sliding window."""
-        with self._lock:
-            elapsed = max(time.perf_counter() - self._t0, 1e-12)
-            lat = np.asarray(self._latencies, dtype=np.float64)
-            occ_r = np.asarray(self._flush_requests, dtype=np.float64)
-            occ_n = np.asarray(self._flush_nodes, dtype=np.float64)
-            out: Dict[str, object] = {
-                "uptime_s": elapsed,
-                "submitted": self.submitted,
-                "rejected": self.rejected,
-                "completed": self.completed,
-                "failed": self.failed,
-                "flushes": self.flushes,
-                "nodes_processed": self.nodes_processed,
-                "throughput_rps": self.completed / elapsed,
-                "throughput_nodes_ps": self.nodes_processed / elapsed,
-                "latency_p50_ms": (float(np.percentile(lat, 50)) * 1e3
-                                   if lat.size else 0.0),
-                "latency_p99_ms": (float(np.percentile(lat, 99)) * 1e3
-                                   if lat.size else 0.0),
-                "latency_mean_ms": (float(lat.mean()) * 1e3
-                                    if lat.size else 0.0),
-                "batch_occupancy_requests": (float(occ_r.mean())
-                                             if occ_r.size else 0.0),
-                "batch_occupancy_nodes": (float(occ_n.mean())
-                                          if occ_n.size else 0.0),
-                "retries": self.retries,
-                "isolations": self.isolations,
-                "isolation_execs": self.isolation_execs,
-                "expired": self.expired,
-                "cancelled": self.cancelled,
-                "shed": self.shed,
-                "error_rate": (self.failed
-                               / max(1, self.completed + self.failed)),
-            }
+        elapsed = max(self._clock() - self._t0, 1e-12)
+        completed = self.completed
+        failed = self.failed
+        nodes = self.nodes_processed
+        out: Dict[str, object] = {
+            "uptime_s": elapsed,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": completed,
+            "failed": failed,
+            "flushes": self.flushes,
+            "nodes_processed": nodes,
+            "throughput_rps": completed / elapsed,
+            "throughput_nodes_ps": nodes / elapsed,
+            "latency_p50_ms": self._latency.percentile(50) * 1e3,
+            "latency_p99_ms": self._latency.percentile(99) * 1e3,
+            "latency_mean_ms": self._latency.window_mean() * 1e3,
+            "batch_occupancy_requests": self._occ_requests.window_mean(),
+            "batch_occupancy_nodes": self._occ_nodes.window_mean(),
+            "retries": self.retries,
+            "isolations": self.isolations,
+            "isolation_execs": self.isolation_execs,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "shed": self.shed,
+            "error_rate": failed / max(1, completed + failed),
+        }
         if arena is not None:
             out["arena"] = arena.snapshot()
         return out

@@ -179,6 +179,12 @@ class Request:
     attempts: int = 0
     #: created in ``__post_init__`` when not supplied
     handle: Optional[RequestHandle] = field(repr=False, default=None)
+    #: trace id minted at ``submit()`` when the server carries a
+    #: :class:`~repro.obs.Tracer`; ``None`` when tracing is off
+    trace_id: Optional[str] = None
+    #: the request's open root :class:`~repro.obs.Span` (server-owned;
+    #: closed exactly once on the resolution path that wins the handle)
+    span: Optional[object] = field(repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.handle is None:

@@ -33,11 +33,12 @@ import dataclasses
 import enum
 import threading
 import time
-from typing import (TYPE_CHECKING, Callable, Dict, Iterator, Optional,
-                    Sequence, Union)
+from typing import (TYPE_CHECKING, Dict, Iterator, Optional, Sequence,
+                    Union)
 
 from ..errors import CircuitOpenError, ServingError
 from ..linearizer import Node
+from ..obs import Clock, MetricsRegistry, Tracer
 from .request import RequestHandle
 from .server import ModelServer
 
@@ -61,14 +62,16 @@ class CircuitBreaker:
     in-flight probe requests: that many successes close it (counters
     reset), while any probe failure re-opens it for a fresh cool-down.
 
-    Thread-safe; ``clock`` is injectable for tests (defaults to
-    ``time.monotonic``).
+    Thread-safe; ``clock`` is injectable for tests — any
+    :class:`~repro.obs.Clock` (defaults to ``time.monotonic``), so one
+    :class:`~repro.obs.FakeClock` can drive breaker cool-downs and span
+    timestamps from a single timeline.
     """
 
     def __init__(self, *, failure_threshold: int = 5,
                  reset_timeout_s: float = 1.0,
                  half_open_probes: int = 2,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Clock = time.monotonic):
         if failure_threshold < 1:
             raise ServingError("failure_threshold must be >= 1")
         if reset_timeout_s < 0:
@@ -87,6 +90,60 @@ class CircuitBreaker:
         self._probe_successes = 0
         self.opened_count = 0        # times the breaker tripped OPEN
         self.shed_count = 0          # submits refused while OPEN
+        #: observability bindings (optional; see bind_metrics/bind_tracer)
+        self._m_opened = None
+        self._m_shed = None
+        self._m_state = None
+        self._tracer: Optional[Tracer] = None
+        self._tracer_tags: Dict[str, object] = {}
+
+    # -- observability bindings --------------------------------------------
+    def bind_metrics(self, registry: MetricsRegistry,
+                     model: str = "default") -> "CircuitBreaker":
+        """Report trips, sheds and state into a shared metrics registry.
+
+        Registers ``breaker_opened_total`` / ``breaker_shed_total``
+        counters and a ``breaker_state`` gauge (0 closed, 1 half-open,
+        2 open), all labeled by ``model`` so every breaker behind one
+        router lands in the same families.  The router binds each
+        breaker into its server's registry automatically.
+        """
+        self._m_opened = registry.counter(
+            "breaker_opened_total", "times the circuit tripped OPEN",
+            ["model"]).labels(model=model)
+        self._m_shed = registry.counter(
+            "breaker_shed_total", "submits refused while OPEN",
+            ["model"]).labels(model=model)
+        self._m_state = registry.gauge(
+            "breaker_state", "0 closed / 1 half-open / 2 open",
+            ["model"]).labels(model=model)
+        return self
+
+    def bind_tracer(self, tracer: Tracer, **tags: object) -> "CircuitBreaker":
+        """Emit ``breaker_open`` / ``breaker_closed`` instant events.
+
+        Trips happen before any request exists (a shed submit never
+        queues), so they surface as standalone tracer instants rather
+        than request spans; ``tags`` (e.g. ``model="treelstm"``) ride on
+        every event.
+        """
+        self._tracer = tracer
+        self._tracer_tags = dict(tags)
+        return self
+
+    def _set_state(self, state: BreakerState) -> None:
+        """Transition + mirror to gauge/tracer (call under ``_lock``)."""
+        prev = self._state
+        self._state = state
+        if self._m_state is not None:
+            self._m_state.set({BreakerState.CLOSED: 0,
+                               BreakerState.HALF_OPEN: 1,
+                               BreakerState.OPEN: 2}[state])
+        if self._tracer is not None and prev is not state:
+            if state is BreakerState.OPEN:
+                self._tracer.instant("breaker_open", **self._tracer_tags)
+            elif state is BreakerState.CLOSED:
+                self._tracer.instant("breaker_closed", **self._tracer_tags)
 
     @property
     def state(self) -> BreakerState:
@@ -97,7 +154,7 @@ class CircuitBreaker:
     def _maybe_half_open(self) -> None:
         if (self._state is BreakerState.OPEN
                 and self._clock() - self._opened_t >= self.reset_timeout_s):
-            self._state = BreakerState.HALF_OPEN
+            self._set_state(BreakerState.HALF_OPEN)
             self._probes_in_flight = 0
             self._probe_successes = 0
 
@@ -113,6 +170,8 @@ class CircuitBreaker:
                     return True
                 return False
             self.shed_count += 1
+            if self._m_shed is not None:
+                self._m_shed.inc()
             return False
 
     def retry_after_s(self) -> Optional[float]:
@@ -130,7 +189,7 @@ class CircuitBreaker:
                 if self._state is BreakerState.HALF_OPEN:
                     self._probe_successes += 1
                     if self._probe_successes >= self.half_open_probes:
-                        self._state = BreakerState.CLOSED
+                        self._set_state(BreakerState.CLOSED)
                         self._consecutive_failures = 0
                 elif self._state is BreakerState.CLOSED:
                     self._consecutive_failures = 0
@@ -145,10 +204,12 @@ class CircuitBreaker:
                 self._trip()
 
     def _trip(self) -> None:
-        self._state = BreakerState.OPEN
+        self._set_state(BreakerState.OPEN)
         self._opened_t = self._clock()
         self._consecutive_failures = 0
         self.opened_count += 1
+        if self._m_opened is not None:
+            self._m_opened.inc()
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -246,6 +307,9 @@ class Router:
             breaker = CircuitBreaker()
         if isinstance(breaker, CircuitBreaker):
             self._breakers[name] = breaker
+            breaker.bind_metrics(server.metrics.registry, model=name)
+            if server.tracer is not None:
+                breaker.bind_tracer(server.tracer, model=name)
             server.add_observer(
                 lambda req, exc, _b=breaker: _b.record(exc is None))
         self._servers[name] = server

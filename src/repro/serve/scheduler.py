@@ -28,7 +28,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence
 
 from ..errors import ServingError
 from .request import Request
@@ -181,11 +181,17 @@ class Scheduler:
     """
 
     def __init__(self, policy: Optional[FlushPolicy] = None,
-                 max_queue: int = 1024):
+                 max_queue: int = 1024, *,
+                 clock: Optional[Callable[[], float]] = None):
         if max_queue < 1:
             raise ServingError("max_queue must be >= 1")
         self.policy = policy if policy is not None else default_policy()
         self.max_queue = max_queue
+        #: time source for deadline expiry and queue-age snapshots when
+        #: the caller passes no explicit ``now`` (an :class:`~repro.obs
+        #: .Clock`; the server injects its own so one FakeClock drives
+        #: submit timestamps, deadlines and spans together)
+        self._clock = clock if clock is not None else time.perf_counter
         self._q: Deque[Request] = deque()
         self._nodes = 0
         #: any queued request carrying a deadline?  Keeps the expiry
@@ -251,7 +257,7 @@ class Scheduler:
             if not self._deadlines:
                 return []
             if now is None:
-                now = time.perf_counter()
+                now = self._clock()
             live: Deque[Request] = deque()
             dead: List[Request] = []
             for req in self._q:
@@ -269,7 +275,7 @@ class Scheduler:
             if not self._q:
                 return QueueSnapshot(0, 0, 0.0)
             if now is None:
-                now = time.perf_counter()
+                now = self._clock()
             return QueueSnapshot(
                 num_requests=len(self._q),
                 num_nodes=self._nodes,

@@ -60,8 +60,11 @@ from ..errors import (DeadlineExceededError, InvalidRequestError,
                       is_retryable)
 from ..linearizer import Node, count_nodes
 from ..linearizer import validate as validate_structure
+from ..obs import (STATUS_CANCELLED, STATUS_DEADLINE, STATUS_ERROR,
+                   STATUS_OK, STATUS_SHED, Clock, Tracer, to_prometheus)
 from ..options import Validate
 from ..runtime.plan import execute_plan
+from ..runtime.profiler import KernelProfiler
 from .coalescer import coalesce, scatter
 from .faults import FaultInjector
 from .metrics import ServerMetrics
@@ -155,6 +158,22 @@ class ModelServer:
             model's output and state buffers).
         device: optional simulated device; attaches per-flush simulated
             time to every result.
+        tracer: optional :class:`~repro.obs.Tracer`.  With one, every
+            submitted request gets its own trace id and a root
+            ``request`` span closed exactly once with the request's
+            outcome, every flush gets a ``flush`` span with
+            ``coalesce`` / ``linearize`` / ``execute`` / ``scatter`` /
+            ``resolve`` children, and lifecycle turns (retry, cancel,
+            expire, shed) land as span events.  Without one (default)
+            the hot path pays one pointer comparison per hook.
+        profiler: optional :class:`~repro.runtime.profiler
+            .KernelProfiler` threaded into every ``execute_plan`` call
+            — per-kernel wall times and call counts, reported under the
+            ``kernels`` key of :meth:`metrics_snapshot`.
+        clock: the :class:`~repro.obs.Clock` used for submit timestamps,
+            deadlines and queue ages (default ``perf_counter``); inject
+            a :class:`~repro.obs.FakeClock` shared with the tracer and
+            breakers to pin a whole test timeline.
     """
 
     def __init__(self, model: "ModelHandle", *,
@@ -167,6 +186,9 @@ class ModelServer:
                  faults: Optional[FaultInjector] = None,
                  outputs: Optional[Sequence[str]] = None,
                  device: Optional["Device"] = None,
+                 tracer: Optional[Tracer] = None,
+                 profiler: Optional[KernelProfiler] = None,
+                 clock: Optional[Clock] = None,
                  metrics_window: int = 4096,
                  wake_interval_s: float = 0.001):
         try:
@@ -191,11 +213,30 @@ class ModelServer:
         if check_device is not None:
             check_device(device)
         self.model = model
-        self.scheduler = Scheduler(policy, max_queue=max_queue)
-        self.metrics = ServerMetrics(window=metrics_window)
+        self._clock: Clock = clock if clock is not None else time.perf_counter
+        self.scheduler = Scheduler(policy, max_queue=max_queue,
+                                   clock=self._clock)
+        self.metrics = ServerMetrics(window=metrics_window,
+                                     clock=self._clock)
+        self.tracer = tracer
+        self.profiler = profiler
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self.device = device
+        # one scrape for the whole serving stack: the arena, the fault
+        # injector and the queue report into the same registry the
+        # ServerMetrics counters live in (breakers bind via Router)
+        reg = self.metrics.registry
+        bind_arena = getattr(model.arena, "bind_metrics", None)
+        if bind_arena is not None:
+            bind_arena(reg)
+        if faults is not None:
+            faults.bind_metrics(reg)
+        reg.gauge("serve_queue_depth", "requests waiting in the queue",
+                  fn=lambda: len(self.scheduler))
+        reg.gauge("serve_queue_nodes",
+                  "structure nodes waiting in the queue",
+                  fn=lambda: self.scheduler.pending_nodes)
         self._max_request_nodes = max_request_nodes
         self._retry_rng = np.random.default_rng(self.retry.seed)
         self._validated = False
@@ -283,24 +324,43 @@ class ModelServer:
         with self._counter_lock:
             self._req_counter += 1
             rid = self._req_counter
-        submit_t = time.perf_counter()
+        submit_t = self._clock()
         req = Request(request_id=rid, roots=root_list, num_nodes=nodes,
                       submit_t=submit_t,
                       deadline_t=(submit_t + timeout_s
                                   if timeout_s is not None else None),
                       priority=priority)
+        tracer = self.tracer
+        if tracer is not None:
+            # the span opens before the queue offer: in threaded mode the
+            # worker may claim (and resolve) the request the instant it
+            # lands, and the root span must already be on it by then
+            req.trace_id = tracer.new_trace_id()
+            req.span = tracer.start_span(
+                "request", trace_id=req.trace_id,
+                attributes={"request_id": rid, "priority": priority,
+                            "roots": len(root_list), "nodes": nodes})
+            req.span.add_event("submitted")
         self._expire_queued()
         adm = self.scheduler.offer(req)
         if not adm:
             self.metrics.note_reject()
+            self._end_request_span(req, STATUS_ERROR, "rejected")
             raise QueueFullError(
                 f"queue full ({self.scheduler.max_queue} pending); "
                 f"retry after a flush")
         if adm.victim is not None:
-            adm.victim.handle.set_exception(LoadShedError(
+            won = adm.victim.handle.set_exception(LoadShedError(
                 f"request {adm.victim.request_id} shed for "
                 f"higher-priority work under overload"))
             self.metrics.note_shed()
+            if won:
+                self._end_request_span(adm.victim, STATUS_SHED, "shed")
+            else:
+                # the victim's handle was already resolved (caller
+                # cancellation won the race): close its span with the
+                # outcome the caller actually observed
+                self._close_dropped_span(adm.victim)
         self.metrics.note_submit()
         if self._thread is not None:
             with self._cond:
@@ -308,6 +368,31 @@ class ModelServer:
         elif self.scheduler.should_flush():
             self.flush()
         return req.handle
+
+    # -- span bookkeeping --------------------------------------------------
+    def _end_request_span(self, req: Request, status: str, event: str,
+                          **attrs: object) -> None:
+        """Close a request's root span with its terminal event (once).
+
+        Called only on the code path that won the handle's resolution,
+        so every request span closes exactly once, with a terminal event
+        that matches the handle's outcome.
+        """
+        span = req.span
+        if span is not None and not span.closed:
+            span.add_event(event, **attrs)
+            span.end(status)
+
+    def _close_dropped_span(self, req: Request) -> None:
+        """Span closure for a request resolved under the server's feet.
+
+        The handle was resolved by someone other than this server's
+        execution path — caller cancellation in the common case.
+        """
+        if req.handle.cancelled:
+            self._end_request_span(req, STATUS_CANCELLED, "cancelled")
+        else:  # pragma: no cover - no current path resolves otherwise
+            self._end_request_span(req, STATUS_ERROR, "dropped")
 
     # -- deadline expiry ---------------------------------------------------
     def _expire_queued(self, now: Optional[float] = None) -> None:
@@ -318,6 +403,9 @@ class ModelServer:
                     f"request {req.request_id} expired in queue after "
                     f"{req.deadline_t - req.submit_t:.3f}s")):
                 self.metrics.note_expired()
+                self._end_request_span(req, STATUS_DEADLINE, "expired")
+            else:
+                self._close_dropped_span(req)
 
     # -- flushing ----------------------------------------------------------
     def flush(self) -> int:
@@ -353,7 +441,7 @@ class ModelServer:
         be cancelled, so nothing in the returned list resolves under the
         executor's feet.
         """
-        now = time.perf_counter()
+        now = self._clock()
         live: List[Request] = []
         for req in reqs:
             if req.expired(now):
@@ -361,11 +449,15 @@ class ModelServer:
                         f"request {req.request_id} deadline passed "
                         f"before execution")):
                     self.metrics.note_expired()
+                    self._end_request_span(req, STATUS_DEADLINE, "expired")
+                else:
+                    self._close_dropped_span(req)
                 continue
             if not req.handle.claim():
                 # resolved by someone else: cancellation (or shed)
                 if req.handle.cancelled:
                     self.metrics.note_cancelled()
+                self._close_dropped_span(req)
                 continue
             live.append(req)
         return live
@@ -377,8 +469,9 @@ class ModelServer:
             # KeyboardInterrupt / SystemExit: fail the handles so no
             # caller blocks forever, but let the interrupt propagate
             for req in taken:
-                req.handle.set_exception(
-                    ServingError("flush interrupted"))
+                if req.handle.set_exception(
+                        ServingError("flush interrupted")):
+                    self._end_request_span(req, STATUS_ERROR, "interrupted")
             raise
 
     def _run_batch(self, reqs: List[Request]) -> None:
@@ -402,6 +495,12 @@ class ModelServer:
                         and max(r.attempts for r in reqs)
                         < self.retry.max_attempts):
                     self.metrics.note_retry(len(reqs))
+                    if self.tracer is not None:
+                        for r in reqs:
+                            if r.span is not None:
+                                r.span.add_event(
+                                    "retry", attempt=r.attempts,
+                                    exception=type(exc).__name__)
                     retry_index = max(r.attempts for r in reqs)
                     delay = self.retry.backoff_s(retry_index,
                                                  self._retry_rng)
@@ -413,6 +512,11 @@ class ModelServer:
                     # poisoned request costs O(log n) re-executions
                     mid = len(reqs) // 2
                     self.metrics.note_isolation(extra_execs=2)
+                    if self.tracer is not None:
+                        for r in reqs:
+                            if r.span is not None:
+                                r.span.add_event("isolated",
+                                                 batch=len(reqs))
                     self._run_batch(reqs[:mid])
                     self._run_batch(reqs[mid:])
                     return
@@ -420,28 +524,73 @@ class ModelServer:
                 return
 
     def _attempt(self, reqs: List[Request]) -> None:
-        """One coalesced execution attempt; resolves handles on success."""
+        """One coalesced execution attempt; resolves handles on success.
+
+        With a tracer, each attempt records one ``flush`` trace —
+        ``coalesce`` (with a retroactive ``linearize`` child),
+        ``execute``, ``scatter`` and ``resolve`` spans — and stamps
+        every resolved request's own trace with retroactive ``queued``
+        and ``execute`` children before closing its root span.  The
+        tracing-off path pays pointer comparisons and three extra clock
+        reads per flush, nothing per request.
+        """
         model = self.model
-        flush_t = time.perf_counter()
-        # satellite: drain any buffers a prior run(reuse=True) left leased,
-        # so the arena's contents are deterministic between flushes
-        model.release()
-        for req in reqs:
-            req.attempts += 1
-        check = self._validate is Validate.ALWAYS or (
-            self._validate is Validate.FIRST and not self._validated)
-        linearizer = (model.lowered.linearizer if check
-                      else model.fast_linearizer())
-        batch = coalesce(reqs, linearizer)
-        res = execute_plan(model.plan, batch.lin, model.params,
-                           device=self.device, arena=model.arena,
-                           faults=self.faults)
-        per_request = scatter(batch, res.workspace, self._outputs)
-        model.arena.release_many(res.arena_buffers)
+        tracer = self.tracer
+        flush_t = self._clock()
+        flush_span = (tracer.start_span(
+            "flush", attributes={"requests": len(reqs)})
+            if tracer is not None else None)
+        try:
+            # satellite: drain any buffers a prior run(reuse=True) left
+            # leased, so the arena's contents are deterministic between
+            # flushes
+            model.release()
+            for req in reqs:
+                req.attempts += 1
+            check = self._validate is Validate.ALWAYS or (
+                self._validate is Validate.FIRST and not self._validated)
+            linearizer = (model.lowered.linearizer if check
+                          else model.fast_linearizer())
+            t_coalesce = self._clock()
+            batch = coalesce(reqs, linearizer)
+            t_exec = self._clock()
+            res = execute_plan(model.plan, batch.lin, model.params,
+                               device=self.device, arena=model.arena,
+                               faults=self.faults, profiler=self.profiler)
+            t_scatter = self._clock()
+            per_request = scatter(batch, res.workspace, self._outputs)
+            model.arena.release_many(res.arena_buffers)
+        except Exception as exc:
+            if flush_span is not None:
+                flush_span.set_attribute("exception", type(exc).__name__)
+                flush_span.add_event(
+                    "attempt_failed",
+                    attempt=max(r.attempts for r in reqs))
+                flush_span.end(STATUS_ERROR)
+            raise
         if check:
             self._validated = True
-        done_t = time.perf_counter()
+        done_t = self._clock()
         exec_s = done_t - flush_t
+        if self.profiler is not None:
+            self.profiler.note_linearize(batch.lin.wall_time_s)
+        if flush_span is not None:
+            flush_span.set_attribute("nodes", batch.num_nodes)
+            cs = tracer.add_span("coalesce", t_coalesce, t_exec,
+                                 parent=flush_span)
+            lin_s = batch.lin.wall_time_s
+            if lin_s:
+                # linearization was timed inside coalesce(); lay it back
+                # as the tail of the coalesce span (clamped so a fake
+                # tracer clock never produces a negative start)
+                tracer.add_span("linearize",
+                                max(t_coalesce, t_exec - lin_s), t_exec,
+                                parent=cs)
+            tracer.add_span("execute", t_exec, t_scatter,
+                            parent=flush_span,
+                            attributes={"nodes": batch.num_nodes})
+            tracer.add_span("scatter", t_scatter, done_t,
+                            parent=flush_span)
         latencies = []
         for req, outs in zip(reqs, per_request):
             latency = done_t - req.submit_t
@@ -457,6 +606,19 @@ class ModelServer:
                 simulated_time_s=res.simulated_time_s,
                 attempts=req.attempts))
             self._notify(req, None)
+            if tracer is not None and req.span is not None:
+                tracer.add_span("queued", req.submit_t, flush_t,
+                                parent=req.span)
+                tracer.add_span("execute", flush_t, done_t,
+                                parent=req.span,
+                                attributes={"attempts": req.attempts,
+                                            "flush": flush_span.span_id})
+                req.span.add_event("resolved")
+                req.span.end(STATUS_OK)
+        if flush_span is not None:
+            tracer.add_span("resolve", done_t, self._clock(),
+                            parent=flush_span)
+            flush_span.end(STATUS_OK)
         self.metrics.note_flush(batch.num_requests, batch.num_nodes,
                                 exec_s, latencies)
 
@@ -465,6 +627,9 @@ class ModelServer:
         if req.handle.set_exception(exc):
             self.metrics.note_failed()
             self._notify(req, exc)
+            self._end_request_span(req, STATUS_ERROR, "failed",
+                                   exception=type(exc).__name__,
+                                   attempts=req.attempts)
 
     # -- streaming ---------------------------------------------------------
     def serve_forever(self, requests: Iterable[Union[Node, Sequence[Node]]]
@@ -582,7 +747,40 @@ class ModelServer:
         snap["queue_nodes"] = self.scheduler.pending_nodes
         if self.faults is not None:
             snap["faults"] = self.faults.snapshot()
+        if self.profiler is not None:
+            snap["kernels"] = self.profiler.snapshot()
         return snap
+
+    def metrics_prometheus(self) -> str:
+        """The whole serving stack's registry in Prometheus text format.
+
+        Covers the request counters and latency/occupancy histograms,
+        the arena and fault-injector gauges, queue depth, and any
+        breakers the router bound — one scrape body, ready to serve
+        from an HTTP handler.
+        """
+        # callback gauges read the (single-threaded) arena: serialize
+        # against flushes like metrics_snapshot does
+        with self._flush_lock:
+            return to_prometheus(self.metrics.registry)
+
+    def trace_export(self, path: Optional[str] = None) -> Optional[dict]:
+        """Everything traced so far, as a Chrome trace-event document.
+
+        Loadable in Perfetto / ``chrome://tracing``; span events ride as
+        instant events and trace/span ids travel in ``args``.  Returns
+        ``None`` when the server has no tracer; with ``path`` the
+        document is also written to disk as JSON.
+        """
+        if self.tracer is None:
+            return None
+        doc = self.tracer.export_chrome(process_name="repro-serve")
+        if path is not None:
+            import json
+
+            with open(path, "w") as f:
+                json.dump(doc, f, indent=1)
+        return doc
 
     def self_check(self, requests: Sequence[Union[Node, Sequence[Node]]],
                    *, raise_on_mismatch: bool = True) -> bool:

@@ -145,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export", help="save a deployable compiled artifact")
     _add_common(p)
     p.add_argument("--out", required=True, help="output directory")
+
+    p = sub.add_parser(
+        "trace", help="serve a synthetic stream, export a Chrome trace")
+    _add_common(p)
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic requests to serve (default 64)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="input-generation seed (default 7)")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write the trace JSON here (default: stdout)")
+
+    p = sub.add_parser(
+        "metrics", help="serve a synthetic stream, print the metrics scrape")
+    _add_common(p)
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic requests to serve (default 64)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="input-generation seed (default 7)")
+    p.add_argument("--format", default="prom", choices=["prom", "json"],
+                   help="Prometheus text (default) or the JSON snapshot")
     return parser
 
 
@@ -260,6 +280,60 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _serve_synthetic(args, *, tracer=None, profiler=None):
+    """Compile (traced when a tracer rides along) and serve a synthetic
+    stream; returns the drained server, its observability surfaces intact."""
+    from ..pipeline import CompilerPipeline
+    from ..serve import Deadline, MaxPendingRequests
+
+    spec = _resolve_cli_model(args)
+    hidden = args.hidden or spec.hs
+    model = CompilerPipeline(tracer=tracer).compile(
+        spec, hidden=hidden, vocab=BENCH_VOCAB)
+    roots = paper_inputs(args.model, args.requests, seed=args.seed,
+                         kind=spec.kind)
+    policy = MaxPendingRequests(16) | Deadline(5.0)
+    with model.server(policy=policy, tracer=tracer,
+                      profiler=profiler) as server:
+        handles = [server.submit(r) for r in roots]
+        for h in handles:
+            h.result(timeout=120.0)
+    return server
+
+
+def cmd_trace(args) -> int:
+    from ..obs import Tracer, validate_chrome_trace
+    from ..runtime import KernelProfiler
+
+    tracer = Tracer()
+    server = _serve_synthetic(args, tracer=tracer,
+                              profiler=KernelProfiler())
+    doc = server.trace_export(args.out)
+    n = validate_chrome_trace(doc)
+    if args.out:
+        print(f"wrote {args.out}: {n} trace events "
+              f"({args.requests} requests; load in chrome://tracing "
+              f"or Perfetto)")
+    else:
+        import json
+
+        print(json.dumps(doc, indent=1))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    server = _serve_synthetic(args)
+    if args.format == "json":
+        import json
+
+        from ..obs import metrics_json
+
+        print(json.dumps(metrics_json(server.metrics.registry), indent=2))
+    else:
+        print(server.metrics_prometheus(), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.cmd == "models":
@@ -274,6 +348,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_tune(args)
     if args.cmd == "export":
         return cmd_export(args)
+    if args.cmd == "trace":
+        return cmd_trace(args)
+    if args.cmd == "metrics":
+        return cmd_metrics(args)
     return 1
 
 

@@ -33,6 +33,7 @@ from repro.errors import (CircuitOpenError, CortexError,
 from repro.linearizer import branch, leaf
 from repro.models.registry import MODELS
 from repro.models.sequential import make_sequence
+from repro.obs import FakeClock
 from repro.serve import (BreakerState, CircuitBreaker, FaultInjector,
                          MaxPendingRequests, ModelServer, NO_RETRY,
                          RetryPolicy, Router)
@@ -78,18 +79,8 @@ def _watch_executions(srv):
     return executed
 
 
-class FakeClock:
-    """Injectable monotonic clock for driving breaker cool-downs."""
-
-    def __init__(self):
-        self.t = 0.0
-
-    def __call__(self):
-        return self.t
-
-    def advance(self, s):
-        self.t += s
-
+# breaker cool-downs, server deadlines and tracer spans all run off the
+# one injectable repro.obs.FakeClock imported above
 
 # ---------------------------------------------------------------------------
 # the tentpole invariant: bitwise-identical-or-typed-error under chaos
