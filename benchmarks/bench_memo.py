@@ -1,0 +1,168 @@
+"""Subtree memoization: Zipf-stream serving with the cross-request cache.
+
+The memo subsystem's claim (:mod:`repro.memo`) is that production request
+streams repeat themselves — popular phrases recur across parse trees,
+expression DAGs share common subexpressions — and that a content-addressed
+subtree cache can convert that repetition into *skipped execution* without
+changing a single output bit.  This benchmark drives the acceptance
+workload: a 200-request Zipf(1.1) stream with pooled substructures
+(:func:`repro.data.zipf_tree_stream` / ``zipf_dag_stream``) through the
+same :class:`~repro.serve.ModelServer` twice, ``memo="off"`` vs
+``memo="on"``, and reports
+
+* subtree cache hit rate and the spliced-node fraction (work avoided),
+* full-hit requests (answered entirely from cache),
+* end-to-end stream wall time and the on/off speedup,
+* cache occupancy (entries / bytes / insertions / evictions).
+
+Results go to ``BENCH_memo.json`` at the repo root.  Acceptance gates:
+
+* every request's outputs are **bitwise identical** with the cache on —
+  the invariant the splice layer promises (asserted here over the full
+  stream, both models);
+* the ``treelstm`` stream's subtree hit rate is >= 30%;
+* memoized serving is at least as fast as plain serving on the
+  ``treelstm`` stream (the spliced 80% of nodes must outweigh the
+  hash/prune overhead).  The ``dagrnn`` row is reported without a
+  throughput gate: its pooled sub-DAGs are small enough that splice
+  overhead ~ saved compute, so the column is informational (the bitwise
+  and engagement gates still apply).
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import save_result
+from repro.bench import cortex_model, format_table, record_bench_json
+from repro.bench.harness import BENCH_VOCAB
+from repro.data import zipf_dag_stream, zipf_tree_stream
+from repro.serve import MaxPendingRequests
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_memo.json"
+
+#: hidden size where host overheads matter (Fig. 7's flat region) — the
+#: regime the cache is built for; also the acceptance workload's size
+HIDDEN = 64
+NUM_REQUESTS = 200
+ZIPF_A = 1.1
+STREAM_SEED = 42
+FLUSH = 16
+MODELS = ("treelstm", "dagrnn")
+
+
+def _stream(name: str):
+    if name == "dagrnn":
+        return zipf_dag_stream(NUM_REQUESTS, zipf_a=ZIPF_A, seed=STREAM_SEED)
+    return zipf_tree_stream(NUM_REQUESTS, vocab_size=BENCH_VOCAB,
+                            zipf_a=ZIPF_A, seed=STREAM_SEED)
+
+
+def _serve(model, stream, memo: str):
+    """One full stream through a fresh server; returns (time, handles, srv).
+
+    A fresh server per call means the memo run starts *cold*: the reported
+    hit rate is earned within the stream, not carried over from warmup.
+    """
+    srv = model.server(policy=MaxPendingRequests(FLUSH), memo=memo)
+    t0 = time.perf_counter()
+    handles = srv.serve_forever(stream)
+    return time.perf_counter() - t0, handles, srv
+
+
+def _median_serve(model, stream, memo: str, *, repeats: int, warmup: int):
+    for _ in range(warmup):
+        _serve(model, stream, memo)
+    samples = []
+    last = None
+    for _ in range(repeats):
+        t, handles, srv = _serve(model, stream, memo)
+        samples.append(t)
+        last = (handles, srv)
+    samples.sort()
+    return samples[len(samples) // 2], last[0], last[1]
+
+
+def _run():
+    rows, results = [], {}
+    for name in MODELS:
+        model = cortex_model(name, HIDDEN)
+        stream = _stream(name)
+        budget = dict(repeats=7, warmup=1)
+        t_off, off_handles, _ = _median_serve(model, stream, "off", **budget)
+        t_on, on_handles, srv = _median_serve(model, stream, "on", **budget)
+
+        # the bitwise gate: every request, every output buffer, equal bits
+        mismatches = 0
+        for hp, hm in zip(off_handles, on_handles):
+            for out in model.lowered.module.output_buffers:
+                if not np.array_equal(hp.result().root_output(out),
+                                      hm.result().root_output(out)):
+                    mismatches += 1
+        snap = srv.metrics_snapshot()["memo"]
+        cache = snap["cache"]
+
+        entry = {
+            "requests": NUM_REQUESTS,
+            "zipf_a": ZIPF_A,
+            "stream_seed": STREAM_SEED,
+            "flush": FLUSH,
+            "memo_off_us": t_off / NUM_REQUESTS * 1e6,
+            "memo_on_us": t_on / NUM_REQUESTS * 1e6,
+            "memo_speedup": t_off / t_on,
+            "bitwise_equal": mismatches == 0,
+            "hit_rate": snap["hit_rate"],
+            "spliced_fraction": snap["spliced_fraction"],
+            "full_hit_requests": snap["full_hit_requests"],
+            "executed_nodes": snap["executed_nodes"],
+            "total_nodes": snap["total_nodes"],
+            "cache_entries": cache["entries"],
+            "cache_bytes": cache["bytes"],
+            "cache_insertions": cache["insertions"],
+            "cache_evictions": cache["evictions"],
+        }
+        results[name] = entry
+        rows.append([
+            name,
+            t_off / NUM_REQUESTS * 1e6,
+            t_on / NUM_REQUESTS * 1e6,
+            round(t_off / t_on, 2),
+            f"{snap['hit_rate']:.1%}",
+            f"{snap['spliced_fraction']:.1%}",
+            f"{snap['full_hit_requests']}/{NUM_REQUESTS}",
+            cache["entries"],
+            "yes" if mismatches == 0 else "NO",
+        ])
+    return rows, results
+
+
+def test_memo_throughput(benchmark):
+    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Model", "off (us)", "on (us)", "speedup", "hit rate",
+         "spliced", "full hits", "entries", "bitwise"],
+        rows,
+        title=f"Per-request serving wall time, hidden={HIDDEN}, "
+              f"{NUM_REQUESTS}-request Zipf({ZIPF_A}) stream "
+              f"(memo-off vs memo-on, flush {FLUSH}, cold cache)")
+    save_result("memo_throughput", table)
+    record_bench_json(JSON_PATH, {
+        "benchmark": "memo_throughput",
+        "hidden": HIDDEN,
+        "flush": FLUSH,
+        "zipf_a": ZIPF_A,
+        "stream_seed": STREAM_SEED,
+        "results": results,
+    })
+
+    # Acceptance gates -----------------------------------------------------
+    # bitwise identity is non-negotiable, both models
+    for name in MODELS:
+        assert results[name]["bitwise_equal"], name
+        # the cache must actually engage (not a degenerate all-miss run)
+        assert results[name]["spliced_fraction"] > 0.5, results[name]
+    # the headline stream: >= 30% subtree hit rate...
+    assert results["treelstm"]["hit_rate"] >= 0.30, results["treelstm"]
+    # ...and memoization must pay for itself end to end
+    assert results["treelstm"]["memo_speedup"] >= 1.0, results["treelstm"]

@@ -13,23 +13,25 @@ the legacy keyword shim.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for the paper-vs-measured record of every table and figure.
 """
 
-from . import (api, authoring, data, ilir, ir, linearizer, models, obs,
+from . import (api, authoring, data, ilir, ir, linearizer, memo, models, obs,
                options, ra, runtime, serve)
 from .api import (CortexModel, ModelHandle, compile,  # noqa: A004 - the API
                   compile_model)
 from .authoring import ModelDef
 from .errors import CortexError
+from .memo import MemoCache, MemoPolicy, MemoSession
 from .options import (DEBUG, PAPER_HEADLINE, PRESETS, UNFUSED_ABLATION,
                       CompileOptions, Validate)
 from .pipeline import CompilerPipeline, CompileReport, Session, StageRecord
 
 __version__ = "0.2.0"
 
-__all__ = ["api", "authoring", "data", "ilir", "ir", "linearizer", "models",
-           "obs", "options", "ra", "runtime", "serve", "CortexModel",
-           "ModelHandle",
+__all__ = ["api", "authoring", "data", "ilir", "ir", "linearizer", "memo",
+           "models", "obs", "options", "ra", "runtime", "serve",
+           "CortexModel", "ModelHandle",
            "ModelDef", "compile",
            "compile_model", "CortexError", "CompileOptions", "Validate",
+           "MemoCache", "MemoPolicy", "MemoSession",
            "PAPER_HEADLINE", "UNFUSED_ABLATION", "DEBUG", "PRESETS",
            "CompilerPipeline", "CompileReport", "Session", "StageRecord",
            "__version__"]

@@ -133,6 +133,8 @@ class RunnableModel:
     def _init_runtime(self) -> None:
         self._fast_linearizer: Optional[Linearizer] = None
         self._leased: List[np.ndarray] = []
+        self._params_version = 0
+        self._memo_key: Optional[str] = None
 
     def _check_device(self, device: Optional[Device]) -> None:
         """Subclasses that cannot simulate latency raise here.
@@ -141,6 +143,47 @@ class RunnableModel:
         ``run_many``, ``server``), so a deployment form without a cost
         model fails loudly instead of reporting wrong latencies.
         """
+
+    # -- parameter versioning / memoization ----------------------------------
+    @property
+    def params_version(self) -> int:
+        """Monotone counter of in-place weight updates (starts at 0).
+
+        Part of every memo-cache key, so bumping it invalidates all of
+        this model's cached subtree rows at once without scanning them.
+        """
+        return self._params_version
+
+    def bump_params_version(self) -> int:
+        """Declare an in-place parameter edit; returns the new version.
+
+        Must be called after mutating ``model.params`` arrays in place.
+        It retires two caches keyed on the old weights: the memoization
+        layer's subtree rows (via the version in the cache key) and the
+        runtime's cached contiguous GEMM operand transposes (which hold
+        copies of weight arrays — see
+        :func:`repro.runtime.kernels.clear_contig_cache`).
+        """
+        from .runtime.kernels import clear_contig_cache
+
+        self._params_version += 1
+        clear_contig_cache()
+        return self._params_version
+
+    def memo_model_key(self) -> str:
+        """Cached per-model memoization key component (content hash).
+
+        Fingerprints the compile configuration, buffer signature and the
+        *initial* parameter bytes; computed once (it hashes every weight)
+        and safe to cache because later in-place edits are covered by
+        :attr:`params_version`, which sits next to this key in every
+        cache key.
+        """
+        if self._memo_key is None:
+            from .memo.hashing import model_memo_key
+
+            self._memo_key = model_memo_key(self)
+        return self._memo_key
 
     # -- linearization -------------------------------------------------------
     def fast_linearizer(self) -> Linearizer:
@@ -258,6 +301,9 @@ class RunnableModel:
         self._check_device(kw.get("device"))
         from .serve import ModelServer
 
+        options = getattr(self, "options", None)
+        if options is not None and getattr(options, "memo", "off") == "on":
+            kw.setdefault("memo", "on")
         return ModelServer(self, **kw)
 
     # -- generated-code inspection --------------------------------------------

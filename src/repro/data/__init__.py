@@ -1,6 +1,8 @@
 """Synthetic workload generators matching the paper's Table 2 datasets."""
 
 from .dags import grid_dag, grid_dag_batch, random_dag
+from .streams import (zipf_dag_stream, zipf_ranks, zipf_sequence_stream,
+                      zipf_tree_stream)
 from .trees import (SST_MAX_LEN, SST_MEAN_LEN, SST_MIN_LEN, SST_STD_LEN,
                     left_chain_tree, perfect_binary_tree, random_binary_tree,
                     synthetic_treebank)
@@ -10,5 +12,6 @@ __all__ = [
     "grid_dag", "grid_dag_batch", "random_dag", "SST_MAX_LEN", "SST_MEAN_LEN",
     "SST_MIN_LEN", "SST_STD_LEN", "left_chain_tree", "perfect_binary_tree",
     "random_binary_tree", "synthetic_treebank", "DEFAULT_VOCAB_SIZE",
-    "random_embeddings", "random_words",
+    "random_embeddings", "random_words", "zipf_dag_stream", "zipf_ranks",
+    "zipf_sequence_stream", "zipf_tree_stream",
 ]

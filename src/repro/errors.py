@@ -121,6 +121,31 @@ class RequestCancelledError(ServingError):
     """The request was cancelled via ``RequestHandle.cancel()``."""
 
 
+class MemoError(CortexError):
+    """Invalid use of the subtree-memoization layer (:mod:`repro.memo`)."""
+
+
+class SpliceRefusedError(MemoError):
+    """This model/configuration cannot safely splice cached rows.
+
+    Raised eagerly — at :class:`~repro.memo.MemoSplicer` construction —
+    when the safety analysis cannot prove that seeding cached state rows
+    reproduces unmemoized execution bitwise (e.g. kernels that inspect
+    descendants beyond direct child state, schedules without dynamic
+    batching, artifact reloads without operator nests).  The memoization
+    invariant is absolute: refuse rather than risk a non-identical splice.
+    """
+
+
+class MemoVerifyError(MemoError):
+    """A verify-mode memoized flush did not match unmemoized execution.
+
+    Never retryable: a mismatch means a poisoned cache entry or a broken
+    splice-safety assumption, and re-executing the same splice would
+    silently return the same wrong rows.
+    """
+
+
 class CircuitOpenError(ServingError):
     """A model's circuit breaker is open: requests are shed immediately.
 

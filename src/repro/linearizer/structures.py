@@ -33,12 +33,16 @@ class Node:
             row for DAG nodes); ``-1`` when absent.
     """
 
-    __slots__ = ("children", "word", "_height")
+    __slots__ = ("children", "word", "_height", "_memo")
 
     def __init__(self, children: Sequence["Node"] = (), word: int = -1):
         self.children: tuple[Node, ...] = tuple(children)
         self.word = int(word)
         self._height: Optional[int] = None
+        #: (structural digest, subtree node count) cached by repro.memo —
+        #: a pure function of the subtree, so it never needs invalidation
+        #: as long as nodes stay immutable after construction
+        self._memo: Optional[tuple] = None
 
     # -- convenience ---------------------------------------------------------
     @property

@@ -1,0 +1,40 @@
+"""Content-addressed subtree memoization for Cortex models.
+
+Recursive-model serving workloads repeat themselves: popular phrases
+reappear across parse trees, expression DAGs share common subexpressions,
+and incremental pipelines re-evaluate structures that differ from the
+previous request by one edit.  Because every Cortex cell's value at a
+node is a pure function of that node's subtree and the model parameters,
+any previously computed subtree row can stand in for re-execution — if
+(and only if) splicing it back in is *bitwise* identical to computing it.
+
+This package makes that trade safely:
+
+* :mod:`~repro.memo.hashing` — canonical structural digests, computed
+  bottom-up once per node and cached on the node;
+* :mod:`~repro.memo.cache` — a bounded, thread-safe LRU keyed by
+  ``(model fingerprint, params_version, subtree digest)``;
+* :mod:`~repro.memo.splice` — the planner integration: prune cached
+  subtrees out of the batch, seed their rows, execute only the misses,
+  scatter new rows back (refusing models where safety cannot be proven);
+* :mod:`~repro.memo.session` — :class:`MemoSession` + :func:`graft` for
+  incremental re-inference outside the server.
+
+Serving integration lives in :class:`repro.serve.ModelServer`
+(``memo="on"`` / ``CompileOptions(memo="on")``).
+"""
+
+from .cache import (DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES, MemoCache,
+                    MemoEntry)
+from .hashing import (annotate, cache_key, model_memo_key,
+                      params_fingerprint, subtree_digest, subtree_size)
+from .session import MemoSession, graft
+from .splice import MemoPolicy, MemoSplicer, SpliceResult, splice_refusal
+
+__all__ = [
+    "DEFAULT_MAX_BYTES", "DEFAULT_MAX_ENTRIES", "MemoCache", "MemoEntry",
+    "MemoPolicy", "MemoSession", "MemoSplicer", "SpliceResult",
+    "annotate", "cache_key", "graft", "model_memo_key",
+    "params_fingerprint", "splice_refusal", "subtree_digest",
+    "subtree_size",
+]

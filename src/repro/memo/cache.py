@@ -1,0 +1,175 @@
+"""Bounded, thread-safe LRU cache of computed subtree rows.
+
+One :class:`MemoEntry` holds the per-node output/state rows of a single
+subtree root — exactly the rows a parent batch reads through child
+indirection, stored as read-only 1-D copies so no later workspace recycle
+can mutate a cached value.  :class:`MemoCache` bounds the store both by
+entry count and by payload bytes, evicting least-recently-used entries,
+and counts hits / misses / insertions / evictions for the serving metrics
+registry.
+
+A cache is usually per-model (each :class:`~repro.serve.ModelServer`
+builds its own unless handed one), but sharing one across models is safe:
+keys embed the model's content fingerprint
+(:func:`repro.memo.hashing.model_memo_key`) and ``params_version``, so
+entries can never alias across models or across weight versions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..errors import MemoError
+
+#: default bounds: generous for tests and single-model serving, small
+#: enough that a runaway stream cannot hold the process's memory hostage
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MemoEntry:
+    """Cached rows for one subtree root: buffer name -> 1-D read-only row."""
+
+    rows: Mapping[str, np.ndarray]
+    #: nodes the cached subtree spans — the work a splice of this entry saves
+    nodes: int
+    nbytes: int
+
+    @staticmethod
+    def from_rows(rows: Mapping[str, np.ndarray], nodes: int) -> "MemoEntry":
+        """Build an entry from workspace rows, copying and freezing them."""
+        frozen: Dict[str, np.ndarray] = {}
+        total = 0
+        for name, row in rows.items():
+            arr = np.array(row, copy=True)
+            arr.setflags(write=False)
+            frozen[name] = arr
+            total += arr.nbytes
+        return MemoEntry(rows=frozen, nodes=int(nodes), nbytes=total)
+
+
+class MemoCache:
+    """Byte- and entry-capped LRU over :class:`MemoEntry` values.
+
+    Thread-safe: lookups, insertions and snapshots serialize on one lock
+    (entries themselves are immutable, so returned values are safe to
+    read without it).  ``get`` refreshes recency; ``put`` evicts from the
+    LRU end until both caps hold, and rejects single entries larger than
+    the byte cap outright (counted under ``rejected``).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_entries < 1:
+            raise MemoError("MemoCache.max_entries must be >= 1")
+        if max_bytes < 1:
+            raise MemoError("MemoCache.max_bytes must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, MemoEntry]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[MemoEntry]:
+        """The entry for ``key`` (refreshing its recency), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key: Hashable) -> Optional[MemoEntry]:
+        """Like :meth:`get` without touching recency or hit/miss counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    # -- insertion ---------------------------------------------------------
+    def put(self, key: Hashable, entry: MemoEntry) -> bool:
+        """Insert (or refresh) an entry; returns False when rejected.
+
+        An entry bigger than ``max_bytes`` on its own can never fit and is
+        refused; otherwise LRU entries are evicted until both caps hold.
+        Re-inserting an existing key replaces the value and refreshes
+        recency (the rows are content-addressed, so a replacement is
+        always bitwise identical to what it replaces).
+        """
+        if entry.nbytes > self.max_bytes:
+            with self._lock:
+                self.rejected += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            self.insertions += 1
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self.evictions += 1
+            return True
+
+    # -- maintenance -------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / max(1, hits + misses),
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+            }
+
+    def bind_metrics(self, registry) -> None:
+        """Register callback gauges into a serving metrics registry."""
+        registry.gauge("memo_cache_entries", "cached subtree entries",
+                       fn=lambda: len(self))
+        registry.gauge("memo_cache_bytes", "bytes held by cached rows",
+                       fn=lambda: self.nbytes)
+        registry.gauge("memo_cache_hits", "cache lookups that hit",
+                       fn=lambda: self.hits)
+        registry.gauge("memo_cache_misses", "cache lookups that missed",
+                       fn=lambda: self.misses)
+        registry.gauge("memo_cache_insertions", "entries inserted",
+                       fn=lambda: self.insertions)
+        registry.gauge("memo_cache_evictions", "LRU evictions",
+                       fn=lambda: self.evictions)

@@ -1,0 +1,668 @@
+"""Splicing cached subtree rows into a coalesced batch plan.
+
+The integration point between the memo cache and the execution stack:
+:class:`MemoSplicer` sits where :meth:`Linearizer.coalesce` sits in the
+plain serving path, but before building the batch arrays it consults the
+cache top-down and *prunes every fully-cached subtree out of the plan*.
+Each pruned subtree is replaced by a single **stub node** whose workspace
+rows are pre-seeded from the cache; only cache-miss nodes are planned,
+numbered and executed, and after a successful flush the newly computed
+interior rows are scattered back into the cache.
+
+Why splicing is bitwise-safe here (and when it is refused)
+----------------------------------------------------------
+
+A Cortex cell reads other nodes' rows only through direct child
+indirection on the state/output buffers (``H[child(k, n)]``), and PR 2's
+kernel canonicalization made those per-row GEMM results invariant to the
+batch extent and row position.  So a cached row seeded at a stub id is
+byte-for-byte what the pruned subtree's root row would have been, and
+every parent computes bitwise-identically.  The splicer *proves* the
+preconditions per model at construction and raises
+:class:`~repro.errors.SpliceRefusedError` otherwise:
+
+* the host plan must carry operator nests (artifact reloads rebuild a
+  conservative plan with none — nothing to analyze);
+* the model must use dynamic (height) batching;
+* no kernel may read through *composed* uninterpreted functions
+  (``word(child(k, n))``, ``child(j, child(k, n))`` — unrolled/refactored
+  schedules inspect grandchildren a stub cannot stand in for);
+* every buffer read through child indirection must be in the cached
+  (output + state) set;
+* pre/hoisted/post kernels — which iterate every node id, stub rows
+  included — must not write any cached buffer.
+
+Stub placement
+--------------
+
+Appendix B numbering puts leaves in the top id block (``id >= leaf_start``
+is the leaf check).  A stub stands in for an *interior* subtree root, so
+stubs get the id block **between** live interior nodes and live leaves::
+
+    [0 .. n_int)                live interior nodes (level batches)
+    [n_int .. n_int + S)        stubs — in no batch, rows seeded
+    [n_int + S .. n_total)      live leaves (leaf batches)
+
+Every batch covers only live ids, so no kernel ever iterates a stub row;
+``leaf_start = n_int + S`` keeps the single-comparison leaf check exact
+(stubs classify as interior, which they are); and parents reach seeded
+stub rows through the ordinary ``child`` arrays.  Pre/hoisted kernels do
+range over stub ids — they write garbage input transforms from
+``word = -1`` there, which is harmless because the safety check above
+proves those buffers are never read across nodes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import MemoVerifyError, SpliceRefusedError
+from ..ir import TensorRead, UFCall, walk
+from ..linearizer import Linearized, Node
+from ..linearizer.batches import plan_batches
+from ..linearizer.structures import validate as validate_structure
+from ..runtime.plan import execute_plan
+from . import hashing
+from .cache import (DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES, MemoCache,
+                    MemoEntry)
+
+
+@dataclass(frozen=True)
+class MemoPolicy:
+    """Knobs of the memoization layer (all safe-by-construction).
+
+    ``min_subtree_nodes`` bounds both lookup and insertion: subtrees
+    smaller than this are executed inline rather than cached (a bare
+    leaf's row costs as much to splice as to compute; it must be >= 2 so
+    every stub stands for an interior node and the Appendix-B leaf-block
+    invariant survives pruning).  ``verify`` re-executes every memoized
+    flush unmemoized and compares bitwise — the poisoned-entry check the
+    chaos tests run; expensive, so off by default.  ``insert=False``
+    makes a read-only consumer of a shared cache.
+    """
+
+    min_subtree_nodes: int = 2
+    insert: bool = True
+    verify: bool = False
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    max_bytes: int = DEFAULT_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.min_subtree_nodes < 2:
+            raise SpliceRefusedError(
+                "MemoPolicy.min_subtree_nodes must be >= 2: leaf-sized "
+                "entries save no work and would break the leaf id-block "
+                "invariant when stubbed")
+
+
+@dataclass(frozen=True)
+class _Insert:
+    """One row to scatter back into the cache after a successful flush."""
+
+    key: Hashable
+    row: int
+    nodes: int
+
+
+@dataclass
+class SpliceResult:
+    """One memoized flush's plan: what to execute, seed, scatter, insert.
+
+    Duck-types the parts of :class:`~repro.serve.coalescer.CoalescedBatch`
+    the scatter path uses (``lin`` / ``root_ids``), so
+    :func:`repro.serve.coalescer.scatter` works on it unchanged.
+    """
+
+    lin: Linearized
+    #: per input root set: node ids of its roots in ``lin``
+    root_ids: List[np.ndarray]
+    #: buffer name -> (stub id array, stacked cached rows) to pre-seed
+    seeds: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    inserts: List[_Insert] = field(default_factory=list)
+    lookups: int = 0
+    hits: int = 0
+    total_nodes: int = 0
+    executed_nodes: int = 0
+    full_hit_requests: int = 0
+
+    @property
+    def spliced_nodes(self) -> int:
+        return self.total_nodes - self.executed_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self.lin.num_nodes
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.root_ids)
+
+
+# ---------------------------------------------------------------------------
+# Splice-safety analysis
+
+
+def _memo_buffers(module) -> List[str]:
+    """The rows an entry caches: output + state buffers, deduped."""
+    return list(dict.fromkeys(list(module.output_buffers)
+                              + list(module.state_buffers)))
+
+
+def _nest_exprs(nest) -> list:
+    exprs = [nest.body] + list(nest.out_indices)
+    if nest.predicate is not None:
+        exprs.append(nest.predicate)
+    exprs.extend(e for _, e in nest.lets)
+    return exprs
+
+
+def _is_child_uf(name: str) -> bool:
+    """Is this uninterpreted function a child accessor (maps a node id to
+    another node's id)?  ``child(k, n)``, the ``left``/``right`` aliases,
+    and the per-slot ``child0``/``child1``/... forms."""
+    return (name in ("child", "left", "right")
+            or (name.startswith("child") and name[5:].isdigit()))
+
+
+def _has_composed_child_uf(nest) -> bool:
+    """Does this nest apply any UF to a child accessor's result?
+
+    ``word(child(k, n))`` / ``child(j, child(k, n))`` mean the kernel
+    inspects structure *below* its direct children — a stub's arity-0 /
+    ``word = -1`` row would feed it wrong values, so such schedules
+    (unroll, recursive refactoring) refuse splicing outright.  Benign
+    single-UF indexing (``Emb[word(n)]``) is not composition.
+    """
+    for e in _nest_exprs(nest):
+        for node in walk(e):
+            if isinstance(node, UFCall):
+                for arg in node.args:
+                    for inner in walk(arg):
+                        if (isinstance(inner, UFCall)
+                                and _is_child_uf(inner.fn.name)):
+                            return True
+    return False
+
+
+def _has_child_indexed_write(nest) -> bool:
+    """Does this nest *write* another node's row (child-indexed store)?
+
+    A kernel storing at ``out[child(k, n)]`` would recompute — and
+    clobber — a seeded stub row from the stub's (empty) children.  No
+    zoo schedule does this, but the check is what makes the guarantee
+    mechanical rather than anecdotal.
+    """
+    for idx in nest.out_indices:
+        if any(isinstance(y, UFCall) and _is_child_uf(y.fn.name)
+               for y in walk(idx)):
+            return True
+    return False
+
+
+def _child_indexed_reads(nest) -> List[str]:
+    """Buffers this nest reads at another node's row (child-indexed).
+
+    The reads a seeded stub row must satisfy.  Word-indexed parameter
+    lookups (``Emb[word(n)]``) address tables by payload, not by node
+    id, and are excluded: fused/level kernels never iterate a stub id,
+    so those reads never touch a stub row.
+    """
+    out: List[str] = []
+    for e in _nest_exprs(nest):
+        for node in walk(e):
+            if isinstance(node, TensorRead):
+                for idx in node.indices:
+                    if any(isinstance(y, UFCall)
+                           and _is_child_uf(y.fn.name)
+                           for y in walk(idx)):
+                        out.append(node.buffer.name)
+                        break
+    return out
+
+
+def splice_refusal(model) -> Optional[str]:
+    """Why this model cannot splice cached rows — or ``None`` if it can."""
+    plan = getattr(model, "plan", None)
+    if plan is None:
+        return "model has no precompiled host plan"
+    module = plan.module
+    if plan.conservative:
+        return ("host plan carries no operator nests (conservative "
+                "rebuild, e.g. an artifact reload) — splice safety "
+                "cannot be analyzed")
+    lz = model.lowered.linearizer
+    if not lz.dynamic_batch:
+        return "model was compiled without dynamic batching"
+    buffers = _memo_buffers(module)
+    if not buffers:
+        return "model declares no output/state buffers to cache"
+    for kernel in module.kernels:
+        for nest in kernel.nests:
+            if _has_composed_child_uf(nest):
+                return (f"kernel {kernel.name!r} reads through composed "
+                        f"uninterpreted functions (unrolled/refactored "
+                        f"schedule) — it inspects descendants a stub row "
+                        f"cannot stand in for")
+            if _has_child_indexed_write(nest):
+                return (f"kernel {kernel.name!r} writes other nodes' rows "
+                        f"through child indirection — it would clobber "
+                        f"seeded stub rows")
+    indirect: set = set()
+    for kernel in module.kernels:
+        for nest in kernel.nests:
+            indirect.update(_child_indexed_reads(nest))
+    unseeded = sorted(indirect - set(buffers))
+    if unseeded:
+        return (f"kernels read buffers {unseeded} through child "
+                f"indirection, but only output/state rows are cached")
+    for kernel in module.kernels:
+        if kernel.kind in ("pre", "hoisted", "post"):
+            for nest in kernel.nests:
+                if nest.out.name in buffers:
+                    return (f"{kernel.kind} kernel {kernel.name!r} writes "
+                            f"cached buffer {nest.out.name!r} over the "
+                            f"full node range, stub rows included")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The splicer
+
+
+class MemoSplicer:
+    """Per-model front end: detect cached subtrees, build the pruned plan.
+
+    Construction runs the splice-safety analysis and raises
+    :class:`~repro.errors.SpliceRefusedError` when the model's kernels
+    cannot provably consume seeded rows — the memoization invariant is
+    *bitwise identity or refusal*, never "probably fine".
+
+    One splicer serves one model; the :class:`MemoCache` may be private
+    (default) or shared across models (keys embed the model fingerprint).
+    Thread-safety matches the server's: ``coalesce``/``commit`` run on
+    the flush path (single-threaded), while ``snapshot`` and the metric
+    gauges may be read concurrently.
+    """
+
+    def __init__(self, model, *, cache: Optional[MemoCache] = None,
+                 policy: Optional[MemoPolicy] = None):
+        self.policy = policy if policy is not None else MemoPolicy()
+        reason = splice_refusal(model)
+        if reason is not None:
+            raise SpliceRefusedError(
+                f"cannot memoize this model: {reason}")
+        self.model = model
+        self.buffers = _memo_buffers(model.plan.module)
+        self.cache = cache if cache is not None else MemoCache(
+            self.policy.max_entries, self.policy.max_bytes)
+        key_fn = getattr(model, "memo_model_key", None)
+        self.model_key = (key_fn() if callable(key_fn)
+                          else hashing.model_memo_key(model))
+        lz = model.lowered.linearizer
+        self._kind = lz.kind
+        self._max_children = lz.max_children
+        self._specialize_leaves = lz.specialize_leaves
+        self._lock = threading.Lock()
+        self.flushes = 0
+        self.requests = 0
+        self.full_hit_requests = 0
+        self.lookups = 0
+        self.hits = 0
+        self.total_nodes = 0
+        self.executed_nodes = 0
+
+    # -- key plumbing ------------------------------------------------------
+    def _params_version(self) -> int:
+        return int(getattr(self.model, "params_version", 0))
+
+    def _key(self, digest: bytes, version: int) -> Hashable:
+        return hashing.cache_key(self.model_key, version, digest)
+
+    # -- phase 1: cached-subtree detection ---------------------------------
+    def _detect(self, merged: List[Node], version: int):
+        """Top-down maximal-cached-subtree search over the merged forest.
+
+        Walks from the roots, consulting the cache at every node big
+        enough to be worth caching, and *not descending* into hits — so
+        each cached region costs one lookup, and every visited miss node
+        is live (outside all cached regions) and insertable after the
+        flush.
+        """
+        policy = self.policy
+        hits: Dict[int, MemoEntry] = {}
+        hit_digest: Dict[int, bytes] = {}
+        misses: List[Node] = []
+        lookups = 0
+        seen: set = set()
+        stack: List[Node] = list(merged)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            digest, size = node._memo
+            if size >= policy.min_subtree_nodes:
+                lookups += 1
+                entry = self.cache.get(self._key(digest, version))
+                if entry is not None:
+                    hits[id(node)] = entry
+                    hit_digest[id(node)] = digest
+                    continue
+                misses.append(node)
+            stack.extend(node.children)
+        return hits, hit_digest, misses, lookups
+
+    # -- phase 2: prune + rebuild ------------------------------------------
+    @staticmethod
+    def _iter_live(roots: List[Node], hits: Dict[int, MemoEntry]):
+        """Post-order over the live region; hit nodes are boundaries."""
+        seen: set = set()
+        for root in roots:
+            stack: List[Tuple[Node, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if id(node) in seen:
+                    continue
+                if expanded:
+                    seen.add(id(node))
+                    yield node
+                else:
+                    stack.append((node, True))
+                    if id(node) not in hits:
+                        for c in reversed(node.children):
+                            if id(c) not in seen:
+                                stack.append((c, False))
+
+    def _prune(self, merged: List[Node], hits: Dict[int, MemoEntry],
+               hit_digest: Dict[int, bytes]):
+        """Replace every hit subtree with a (digest-shared) stub node.
+
+        Live nodes whose subtree contains no stub are reused as-is —
+        their cached digests keep paying off on later requests; only the
+        dirty spine above a stub is cloned.
+        """
+        stub_for: Dict[bytes, Node] = {}
+        stub_entry: Dict[bytes, MemoEntry] = {}
+        repl: Dict[int, Node] = {}
+        for node in self._iter_live(merged, hits):
+            if id(node) in hits:
+                d = hit_digest[id(node)]
+                stub = stub_for.get(d)
+                if stub is None:
+                    stub = Node((), -1)
+                    stub_for[d] = stub
+                    stub_entry[d] = hits[id(node)]
+                repl[id(node)] = stub
+            else:
+                kids = tuple(repl[id(c)] for c in node.children)
+                if all(a is b for a, b in zip(kids, node.children)):
+                    repl[id(node)] = node
+                else:
+                    repl[id(node)] = Node(kids, node.word)
+        return repl, stub_for, stub_entry
+
+    # -- phase 3: linearize with stubs out of every batch ------------------
+    def _linearize_pruned(self, new_roots: List[Node],
+                          stubs: List[Node]) -> Tuple[Linearized, Dict[int,
+                                                                       int]]:
+        """Build the batch arrays over the pruned forest (see module doc).
+
+        Mirrors ``Linearizer._build_arrays`` with one change: stubs are
+        excluded from every batch and numbered into the mid block, so
+        batch arrays cover live nodes only while buffers (sized
+        ``num_nodes``) still have rows to seed at stub ids.
+        """
+        plan = plan_batches(new_roots, dynamic_batch=True,
+                            specialize_leaves=self._specialize_leaves)
+        stub_ids = {id(s) for s in stubs}
+        lbc = plan.leaf_batch_count
+        kept: List[List[Node]] = []
+        new_lbc = 0
+        for i, batch in enumerate(plan.batches):
+            live = ([n for n in batch if id(n) not in stub_ids]
+                    if i < lbc else batch)
+            if live:
+                kept.append(live)
+                if i < lbc:
+                    new_lbc += 1
+        exec_order = [n for b in reversed(kept) for n in b]
+        n_live = len(exec_order)
+        num_leaves = sum(len(b) for b in kept[:new_lbc])
+        cut = n_live - num_leaves
+        order = exec_order[:cut] + stubs + exec_order[cut:]
+        n = len(order)
+        ids = {id(nd): i for i, nd in enumerate(order)}
+
+        words = np.fromiter((nd.word for nd in order), dtype=np.int32,
+                            count=n)
+        num_children = np.fromiter((len(nd.children) for nd in order),
+                                   dtype=np.int32, count=n)
+        child = np.full((self._max_children, n), -1, dtype=np.int32)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[int] = []
+        for nid, nd in enumerate(order):
+            for k, c in enumerate(nd.children):
+                rows.append(k)
+                cols.append(nid)
+                vals.append(ids[id(c)])
+        if rows:
+            child[np.asarray(rows, dtype=np.intp),
+                  np.asarray(cols, dtype=np.intp)] = np.asarray(
+                      vals, dtype=np.int32)
+
+        begins = np.fromiter((ids[id(b[0])] for b in kept), dtype=np.int32,
+                             count=len(kept))
+        lengths = np.fromiter((len(b) for b in kept), dtype=np.int32,
+                              count=len(kept))
+        roots_arr = np.asarray(
+            sorted({ids[id(r)] for r in new_roots}), dtype=np.int32)
+
+        lin = Linearized(
+            kind=self._kind,
+            max_children=self._max_children,
+            num_nodes=n,
+            num_leaves=num_leaves,
+            child=child,
+            num_children=num_children,
+            words=words,
+            batch_begin=begins,
+            batch_length=lengths,
+            leaf_batch_count=new_lbc,
+            roots=roots_arr,
+            order=order,
+            # the trailing block [leaf_start, n) is exactly the live
+            # leaves; with none, no id passes the leaf check
+            leaf_start=n - num_leaves,
+        )
+        if not len(kept):
+            # every node spliced: nothing executes, but buffer sizing
+            # still asks for max_batch_len
+            lin._max_batch_len = 1
+        return lin, ids
+
+    # -- the coalesce entry point ------------------------------------------
+    def coalesce(self, root_sets: Sequence[Union[Sequence[Node], Node]], *,
+                 check: bool = False) -> SpliceResult:
+        """Merge root sets, splice cached subtrees, plan the remainder.
+
+        The memoized counterpart of
+        :meth:`repro.linearizer.Linearizer.coalesce`: same forest merge,
+        same per-request root-id scatter maps, but the returned plan
+        executes only cache-miss nodes and carries the seed rows +
+        post-flush insertion records.  ``check`` runs the §3 structure
+        validation (the serving path forwards its ``Validate`` decision
+        here because the pruned forest never passes through the plain
+        linearizer).
+        """
+        t0 = time.perf_counter()
+        sets: List[List[Node]] = [
+            [rs] if isinstance(rs, Node) else list(rs) for rs in root_sets]
+        merged: List[Node] = []
+        seen: set = set()
+        for rs in sets:
+            for r in rs:
+                if id(r) not in seen:
+                    seen.add(id(r))
+                    merged.append(r)
+        if check:
+            validate_structure(merged, self._kind, self._max_children)
+        total_nodes = hashing.annotate(merged)
+        version = self._params_version()
+
+        hits, hit_digest, misses, lookups = self._detect(merged, version)
+
+        if hits:
+            repl, stub_for, stub_entry = self._prune(merged, hits,
+                                                     hit_digest)
+            new_roots: List[Node] = []
+            root_seen: set = set()
+            for r in merged:
+                nr = repl[id(r)]
+                if id(nr) not in root_seen:
+                    root_seen.add(id(nr))
+                    new_roots.append(nr)
+            stubs = list(stub_for.values())
+        else:
+            repl = {}
+            stub_for, stub_entry = {}, {}
+            new_roots = merged
+            stubs = []
+
+        lin, ids = self._linearize_pruned(new_roots, stubs)
+
+        root_ids = [np.fromiter(
+            (ids[id(repl.get(id(r), r))] for r in rs),
+            dtype=np.int64, count=len(rs)) for rs in sets]
+        full_hits = sum(
+            1 for rs in sets
+            if rs and all(id(repl.get(id(r), r)) in
+                          {id(s) for s in stubs} for r in rs)) \
+            if stubs else 0
+
+        seeds: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        if stubs:
+            digests = list(stub_for)
+            idx = np.fromiter((ids[id(stub_for[d])] for d in digests),
+                              dtype=np.intp, count=len(digests))
+            for name in self.buffers:
+                stacked = np.stack([stub_entry[d].rows[name]
+                                    for d in digests])
+                seeds[name] = (idx, stacked)
+
+        inserts: List[_Insert] = []
+        if self.policy.insert:
+            done = set(stub_for)
+            for node in misses:
+                digest, size = node._memo
+                if digest in done:
+                    continue  # duplicate content within this flush
+                done.add(digest)
+                live = repl.get(id(node), node)
+                inserts.append(_Insert(key=self._key(digest, version),
+                                       row=ids[id(live)], nodes=size))
+
+        executed = lin.num_nodes - len(stubs)
+        lin.wall_time_s = time.perf_counter() - t0
+        result = SpliceResult(
+            lin=lin, root_ids=root_ids, seeds=seeds, inserts=inserts,
+            lookups=lookups, hits=len(hits), total_nodes=total_nodes,
+            executed_nodes=executed, full_hit_requests=full_hits)
+        with self._lock:
+            self.flushes += 1
+            self.requests += len(sets)
+            self.full_hit_requests += full_hits
+            self.lookups += lookups
+            self.hits += len(hits)
+            self.total_nodes += total_nodes
+            self.executed_nodes += executed
+        return result
+
+    # -- post-flush commit -------------------------------------------------
+    def commit(self, result: SpliceResult,
+               workspace: Dict[str, np.ndarray]) -> int:
+        """Insert the flush's newly computed rows; returns entries added.
+
+        Called only after the flush *succeeded end to end* — an injected
+        or genuine fault aborts before this point, so a partial execution
+        can never leave poisoned rows behind.
+        """
+        added = 0
+        for rec in result.inserts:
+            rows = {name: workspace[name][rec.row] for name in self.buffers}
+            if self.cache.put(rec.key,
+                              MemoEntry.from_rows(rows, rec.nodes)):
+                added += 1
+        return added
+
+    # -- verification ------------------------------------------------------
+    def verify(self, root_sets: Sequence[Union[Sequence[Node], Node]],
+               result: SpliceResult,
+               outputs: Sequence[str],
+               per_request: Sequence[Dict[str, np.ndarray]]) -> None:
+        """Re-execute unmemoized and compare bitwise; raise on mismatch.
+
+        The poisoned-entry check: runs the same root sets through the
+        plain coalesce + execute path (fresh workspace, no arena) and
+        demands byte equality on every request's every output row.
+        Called *before* :meth:`commit`, so a failed verification also
+        keeps the offending flush's rows out of the cache.
+        """
+        model = self.model
+        lin, id_sets = model.fast_linearizer().coalesce(root_sets)
+        res = execute_plan(model.plan, lin, model.params)
+        for i, (ids_ref, outs) in enumerate(zip(id_sets, per_request)):
+            for name in outputs:
+                ref = res.workspace[name][ids_ref]
+                if not np.array_equal(ref, outs[name],
+                                      equal_nan=True):
+                    raise MemoVerifyError(
+                        f"memoized flush diverged from unmemoized "
+                        f"execution: request {i}, buffer {name!r} "
+                        f"(hits={result.hits}, "
+                        f"spliced={result.spliced_nodes} nodes) — "
+                        f"poisoned cache entry or broken splice "
+                        f"assumption")
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative splice accounting plus the cache's own counters."""
+        with self._lock:
+            lookups, hits = self.lookups, self.hits
+            total, executed = self.total_nodes, self.executed_nodes
+            out: Dict[str, object] = {
+                "flushes": self.flushes,
+                "requests": self.requests,
+                "full_hit_requests": self.full_hit_requests,
+                "lookups": lookups,
+                "hits": hits,
+                "hit_rate": hits / max(1, lookups),
+                "total_nodes": total,
+                "executed_nodes": executed,
+                "spliced_nodes": total - executed,
+                "spliced_fraction": (total - executed) / max(1, total),
+            }
+        out["cache"] = self.cache.snapshot()
+        return out
+
+    def bind_metrics(self, registry) -> None:
+        """Callback gauges into the serving registry (one splicer each)."""
+        self.cache.bind_metrics(registry)
+        registry.gauge("memo_lookups", "subtree cache lookups",
+                       fn=lambda: self.lookups)
+        registry.gauge("memo_hits", "subtree cache hits",
+                       fn=lambda: self.hits)
+        registry.gauge("memo_spliced_nodes",
+                       "nodes served from cache instead of executed",
+                       fn=lambda: self.total_nodes - self.executed_nodes)
+        registry.gauge("memo_executed_nodes",
+                       "nodes actually executed in memoized flushes",
+                       fn=lambda: self.executed_nodes)
+        registry.gauge("memo_full_hit_requests",
+                       "requests answered entirely from cache",
+                       fn=lambda: self.full_hit_requests)

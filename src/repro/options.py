@@ -131,6 +131,10 @@ class CompileOptions:
     dense_intermediates: bool = True
     #: fail compilation on bound checks the prover cannot eliminate
     strict_bounds: bool = False
+    #: cross-request subtree memoization policy: "off" or "on" (servers
+    #: built from a model compiled with "on" default to a memoizing path;
+    #: see :mod:`repro.memo`)
+    memo: str = "off"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -152,6 +156,10 @@ class CompileOptions:
                 raise ScheduleError(
                     f"CompileOptions.{name} must be a bool, "
                     f"got {value!r}")
+        if self.memo not in ("off", "on"):
+            raise ScheduleError(
+                f"CompileOptions.memo must be 'off' or 'on', "
+                f"got {self.memo!r}")
         from .ra.schedule import CortexSchedule
 
         CortexSchedule(

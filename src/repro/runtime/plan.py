@@ -286,7 +286,8 @@ def get_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
 
 def execute_plan(plan: HostPlan, lin: Linearized,
                  params: Mapping[str, np.ndarray], *,
-                 device=None, arena=None, faults=None, profiler=None):
+                 device=None, arena=None, faults=None, profiler=None,
+                 seeds=None):
     """Run the precompiled host program over one linearized input batch.
 
     The launch sequence replays the reference host loop exactly — pre and
@@ -305,6 +306,13 @@ def execute_plan(plan: HostPlan, lin: Linearized,
     .KernelProfiler`: every launch record is wrapped in a per-call timing
     closure and the workspace/launch phase totals are recorded.  Without
     one (the default) the launch loop runs the plan's raw callables.
+
+    ``seeds`` is an optional ``{buffer name: (row ids, rows)}`` mapping
+    of pre-computed workspace rows (the memoization layer's cached
+    subtree results, :mod:`repro.memo`).  Seeded rows are written right
+    after workspace allocation, before any kernel launches — the batch
+    arrays built by the splicer never iterate a seeded id, so kernels
+    only ever *read* these rows through child indirection.
     """
     from .executor import ExecutionResult
 
@@ -314,6 +322,9 @@ def execute_plan(plan: HostPlan, lin: Linearized,
     t_ws = time.perf_counter() if profiler is not None else 0.0
     c = plan.bind_scalars(lin)
     ws, leased = plan.make_workspace(lin, params, arena)
+    if seeds:
+        for name, (rows_idx, rows) in seeds.items():
+            ws[name][rows_idx] = rows
     if profiler is not None:
         pre = profiler.wrap(plan.pre)
         leaf = profiler.wrap(plan.leaf)

@@ -174,6 +174,19 @@ class ModelServer:
             deadlines and queue ages (default ``perf_counter``); inject
             a :class:`~repro.obs.FakeClock` shared with the tracer and
             breakers to pin a whole test timeline.
+        memo: ``"on"`` routes every flush through the content-addressed
+            subtree cache (:mod:`repro.memo`): cached subtrees are
+            pruned from the batch and their rows spliced in, with
+            outputs guaranteed bitwise identical to the plain path (the
+            splicer refuses — :class:`~repro.errors.SpliceRefusedError`
+            at construction — any model where that cannot be proven).
+            Models compiled with ``CompileOptions(memo="on")`` get this
+            by default via :meth:`~repro.api.RunnableModel.server`.
+        memo_cache: optional shared :class:`~repro.memo.MemoCache`
+            (e.g. one cache across a Router's models); default is a
+            private cache sized by the policy.
+        memo_policy: optional :class:`~repro.memo.MemoPolicy` (entry
+            bounds, minimum subtree size, verify mode).
     """
 
     def __init__(self, model: "ModelHandle", *,
@@ -190,7 +203,10 @@ class ModelServer:
                  profiler: Optional[KernelProfiler] = None,
                  clock: Optional[Clock] = None,
                  metrics_window: int = 4096,
-                 wake_interval_s: float = 0.001):
+                 wake_interval_s: float = 0.001,
+                 memo: Union[str, bool] = "off",
+                 memo_cache=None,
+                 memo_policy=None):
         try:
             self._validate = Validate.coerce(validate)
         except ValueError as exc:
@@ -237,6 +253,24 @@ class ModelServer:
         reg.gauge("serve_queue_nodes",
                   "structure nodes waiting in the queue",
                   fn=lambda: self.scheduler.pending_nodes)
+        # cross-request subtree memoization (repro.memo): "on" builds a
+        # per-server splicer (or adopts a shared MemoCache) after the
+        # splice-safety analysis; refusal raises SpliceRefusedError
+        # eagerly rather than serving a maybe-not-bitwise path
+        if memo in ("on", True):
+            from ..memo import MemoSplicer
+
+            self.memo = MemoSplicer(model, cache=memo_cache,
+                                    policy=memo_policy)
+            self.memo.bind_metrics(reg)
+        elif memo in ("off", False, None):
+            self.memo = None
+            if memo_cache is not None or memo_policy is not None:
+                raise ServingError(
+                    "memo_cache/memo_policy given but memo is 'off'")
+        else:
+            raise ServingError(
+                f"memo must be 'on' or 'off', got {memo!r}")
         self._max_request_nodes = max_request_nodes
         self._retry_rng = np.random.default_rng(self.retry.seed)
         self._validated = False
@@ -552,13 +586,35 @@ class ModelServer:
             linearizer = (model.lowered.linearizer if check
                           else model.fast_linearizer())
             t_coalesce = self._clock()
-            batch = coalesce(reqs, linearizer)
+            if self.memo is not None:
+                batch = self.memo.coalesce([r.roots for r in reqs],
+                                           check=check)
+                seeds = batch.seeds
+            else:
+                batch = coalesce(reqs, linearizer)
+                seeds = None
             t_exec = self._clock()
             res = execute_plan(model.plan, batch.lin, model.params,
                                device=self.device, arena=model.arena,
-                               faults=self.faults, profiler=self.profiler)
+                               faults=self.faults, profiler=self.profiler,
+                               seeds=seeds)
             t_scatter = self._clock()
             per_request = scatter(batch, res.workspace, self._outputs)
+            if self.memo is not None:
+                # verify (optional) then commit — both only after the
+                # whole flush executed, so an injected fault can never
+                # leave partial rows in the cache; commit copies rows
+                # before the arena reclaims the workspace below
+                if self.memo.policy.verify:
+                    self.memo.verify([r.roots for r in reqs], batch,
+                                     self._outputs, per_request)
+                self.memo.commit(batch, res.workspace)
+                if tracer is not None:
+                    tracer.instant(
+                        "memo_splice", hits=batch.hits,
+                        spliced_nodes=batch.spliced_nodes,
+                        executed_nodes=batch.executed_nodes,
+                        full_hit_requests=batch.full_hit_requests)
             model.arena.release_many(res.arena_buffers)
         except Exception as exc:
             if flush_span is not None:
@@ -749,6 +805,8 @@ class ModelServer:
             snap["faults"] = self.faults.snapshot()
         if self.profiler is not None:
             snap["kernels"] = self.profiler.snapshot()
+        if self.memo is not None:
+            snap["memo"] = self.memo.snapshot()
         return snap
 
     def metrics_prometheus(self) -> str:

@@ -165,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="input-generation seed (default 7)")
     p.add_argument("--format", default="prom", choices=["prom", "json"],
                    help="Prometheus text (default) or the JSON snapshot")
+
+    p = sub.add_parser(
+        "memo", help="serve a Zipf stream through the subtree memo cache "
+                     "and report hit-rate / splice / eviction stats")
+    _add_common(p)
+    p.add_argument("--requests", type=int, default=200,
+                   help="Zipf-stream requests to serve (default 200)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="stream-generation seed (default 42)")
+    p.add_argument("--zipf-a", type=float, default=1.1,
+                   help="Zipf popularity exponent (default 1.1)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw metrics_snapshot()['memo'] dict")
     return parser
 
 
@@ -321,6 +334,51 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_memo(args) -> int:
+    from ..data import (zipf_dag_stream, zipf_sequence_stream,
+                        zipf_tree_stream)
+    from ..linearizer import StructureKind
+    from ..serve import MaxPendingRequests
+
+    spec = _resolve_cli_model(args)
+    model, hidden = _compile(args, spec=spec)
+    if spec.kind is StructureKind.DAG:
+        stream = zipf_dag_stream(args.requests, zipf_a=args.zipf_a,
+                                 seed=args.seed)
+    elif spec.kind is StructureKind.SEQUENCE:
+        stream = zipf_sequence_stream(args.requests, vocab_size=BENCH_VOCAB,
+                                      zipf_a=args.zipf_a, seed=args.seed)
+    else:
+        stream = zipf_tree_stream(args.requests, vocab_size=BENCH_VOCAB,
+                                  zipf_a=args.zipf_a, seed=args.seed)
+    server = model.server(memo="on", policy=MaxPendingRequests(16))
+    server.serve_forever(stream)
+    memo = server.metrics_snapshot()["memo"]
+    if args.json:
+        import json
+
+        print(json.dumps(memo, indent=2))
+        return 0
+    cache = memo["cache"]
+    print(f"{args.model} hidden={hidden}: {args.requests} Zipf(a="
+          f"{args.zipf_a}) requests through the subtree memo cache")
+    rows = [
+        ["subtree hit rate", f"{memo['hit_rate']:.1%}"],
+        ["spliced node fraction", f"{memo['spliced_fraction']:.1%}"],
+        ["nodes executed / total",
+         f"{memo['executed_nodes']} / {memo['total_nodes']}"],
+        ["full-hit requests",
+         f"{memo['full_hit_requests']} / {memo['requests']}"],
+        ["cache entries (bytes)",
+         f"{cache['entries']} ({cache['bytes']})"],
+        ["insertions / evictions / rejected",
+         f"{cache['insertions']} / {cache['evictions']} / "
+         f"{cache['rejected']}"],
+    ]
+    print(format_table(["stat", "value"], rows, title="memo"))
+    return 0
+
+
 def cmd_metrics(args) -> int:
     server = _serve_synthetic(args)
     if args.format == "json":
@@ -352,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(args)
     if args.cmd == "metrics":
         return cmd_metrics(args)
+    if args.cmd == "memo":
+        return cmd_memo(args)
     return 1
 
 

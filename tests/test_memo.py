@@ -1,0 +1,638 @@
+"""Memoization suite: the content-addressed subtree cache (repro.memo).
+
+The subsystem invariant under test: **memoized output equals unmemoized
+output bitwise** — across the zoo, under injected faults, under cache
+eviction — or the splice layer refuses up front with a typed
+:class:`~repro.errors.SpliceRefusedError`.  Around that: structural
+hashing (content addressing, DAG/tree digest equivalence, O(1)
+re-annotation), the bounded LRU (:class:`~repro.memo.MemoCache`),
+incremental re-inference through :class:`~repro.memo.MemoSession` +
+:func:`~repro.memo.graft` (only the dirty spine executes), the
+``params_version`` stale-weights story, chaos with verify-mode as a
+poisoned-entry detector, and the serving observability surface
+(``metrics_snapshot()["memo"]``, ``memo_cache_*`` gauges, the
+``memo_splice`` trace instant).
+
+Chaos runs share ``REPRO_CHAOS_SEED`` with the serving chaos suite, so a
+failure here replays exactly.
+"""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.data import (synthetic_treebank, zipf_dag_stream,
+                        zipf_sequence_stream, zipf_tree_stream)
+from repro.errors import (CortexError, MemoError, MemoVerifyError,
+                          ScheduleError, ServingError, SpliceRefusedError)
+from repro.linearizer import Node, branch, leaf
+from repro.memo import (MemoCache, MemoEntry, MemoPolicy, MemoSession,
+                        MemoSplicer, cache_key, graft, model_memo_key,
+                        splice_refusal, subtree_digest, subtree_size)
+from repro.memo.hashing import annotate, params_fingerprint
+from repro.models.registry import MODELS
+from repro.models.sequential import make_sequence
+from repro.obs import Tracer, validate_chrome_trace
+from repro.options import DEBUG, CompileOptions
+from repro.serve import FaultInjector, MaxPendingRequests, ModelServer
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+VOCAB = 120
+
+
+def _small_model(name, **kw):
+    args = dict(hidden=8, **kw)
+    if name == "dagrnn":
+        args["num_cells"] = 64
+    else:
+        args["vocab"] = VOCAB
+    return api.compile_model(name, **args)
+
+
+def _stream(name, n, seed):
+    """A shared-substructure request stream matching the model's kind."""
+    kind = MODELS[name].kind.value
+    if kind == "dag":
+        return zipf_dag_stream(n, seed=seed)
+    if kind == "sequence":
+        return zipf_sequence_stream(n, vocab_size=VOCAB, seed=seed)
+    return zipf_tree_stream(n, vocab_size=VOCAB, seed=seed)
+
+
+def _assert_bitwise_solo(model, roots, result):
+    """A served request's rows must equal a plain solo run bit for bit."""
+    solo = model.run(roots)
+    rs = [roots] if isinstance(roots, Node) else list(roots)
+    ids = [solo.lin.node_id(r) for r in rs]
+    for out in model.lowered.module.output_buffers:
+        assert np.array_equal(result.root_output(out),
+                              solo.workspace[out][ids]), out
+
+
+def _solo_rows(model, roots, out):
+    """Root rows of a plain solo run, shaped like a session's output."""
+    solo = model.run(roots)
+    rs = [roots] if isinstance(roots, Node) else list(roots)
+    return solo.workspace[out][[solo.lin.node_id(r) for r in rs]]
+
+
+def _balanced(depth, rng):
+    """A perfect binary tree of 2**depth leaves with random words."""
+    nodes = [leaf(int(w)) for w in rng.integers(0, VOCAB, 2 ** depth)]
+    while len(nodes) > 1:
+        nodes = [branch(nodes[i], nodes[i + 1])
+                 for i in range(0, len(nodes), 2)]
+    return nodes[0]
+
+
+# ---------------------------------------------------------------------------
+# structural hashing: content addressing
+
+
+def test_digest_is_content_addressed():
+    rng = np.random.default_rng(CHAOS_SEED)
+    words = [int(w) for w in rng.integers(0, VOCAB, 4)]
+
+    def build():
+        return branch(branch(leaf(words[0]), leaf(words[1])),
+                      branch(leaf(words[2]), leaf(words[3])))
+
+    a, b = build(), build()
+    assert a is not b
+    assert subtree_digest(a) == subtree_digest(b)
+    assert subtree_size(a) == subtree_size(b) == 7
+    # a different word payload, a different shape, and leaf-vs-interior
+    # must all separate
+    c = branch(branch(leaf(words[0]), leaf(words[1])),
+               branch(leaf(words[2]), leaf((words[3] + 1) % VOCAB)))
+    assert subtree_digest(c) != subtree_digest(a)
+    skew = branch(branch(branch(leaf(words[0]), leaf(words[1])),
+                         leaf(words[2])), leaf(words[3]))
+    assert subtree_digest(skew) != subtree_digest(a)
+    assert subtree_digest(leaf(5)) != subtree_digest(Node((leaf(5),), 5))
+
+
+def test_dag_and_its_tree_expansion_hash_identically():
+    # sharing changes work, not values: a diamond and its expansion must
+    # share cache entries
+    shared = branch(leaf(1), leaf(2))
+    diamond = Node((shared, shared), 9)
+    expanded = Node((branch(leaf(1), leaf(2)), branch(leaf(1), leaf(2))), 9)
+    assert subtree_digest(diamond) == subtree_digest(expanded)
+    # size counts per path (a policy threshold, not a node census)
+    assert subtree_size(diamond) == subtree_size(expanded) == 7
+    # annotate counts *distinct* reachable nodes
+    assert annotate([Node((shared, shared), 9)]) <= annotate(
+        [Node((branch(leaf(1), leaf(2)), branch(leaf(1), leaf(2))), 9)])
+
+
+def test_annotate_is_iterative_and_cached():
+    # a chain far beyond the recursion limit: annotate must not recurse
+    node = leaf(0)
+    for w in range(5000):
+        node = Node((node,), w % VOCAB)
+    assert annotate([node]) == 5001
+    memo_before = node._memo
+    assert memo_before is not None and memo_before[1] == 5001
+    # re-annotation is O(1) per node: the cached tuple is reused, not
+    # recomputed
+    assert annotate([node]) == 5001
+    assert node._memo is memo_before
+
+
+def test_params_fingerprint_and_model_key_separate_models():
+    rng = np.random.default_rng(CHAOS_SEED)
+    params = {"W": rng.standard_normal((4, 4)).astype(np.float32),
+              "b": np.zeros(4, dtype=np.float32)}
+    fp = params_fingerprint(params)
+    assert fp == params_fingerprint(dict(reversed(list(params.items()))))
+    edited = {k: v.copy() for k, v in params.items()}
+    edited["b"][0] = 1.0
+    assert params_fingerprint(edited) != fp
+
+    a, b = _small_model("treernn"), _small_model("treegru")
+    assert model_memo_key(a) != model_memo_key(b)
+    assert a.memo_model_key() == model_memo_key(a)
+    d = subtree_digest(leaf(1))
+    assert cache_key("m", 0, d) != cache_key("m", 1, d)
+
+
+# ---------------------------------------------------------------------------
+# the bounded LRU
+
+
+def _entry(n=4, fill=0.0, nodes=2):
+    return MemoEntry.from_rows(
+        {"H": np.full(n, fill, dtype=np.float32)}, nodes)
+
+
+def test_cache_lru_evicts_oldest_and_get_refreshes_recency():
+    cache = MemoCache(max_entries=3, max_bytes=1 << 20)
+    for k in "abc":
+        assert cache.put(k, _entry(fill=ord(k)))
+    assert cache.get("a") is not None         # refresh: "b" is now LRU
+    cache.put("d", _entry())
+    assert cache.peek("b") is None            # the unrefreshed one went
+    assert {k for k in "acd" if cache.peek(k) is not None} == set("acd")
+    snap = cache.snapshot()
+    assert snap["entries"] == 3 and snap["evictions"] == 1
+    assert snap["hits"] == 1
+
+
+def test_cache_byte_cap_and_oversize_rejection():
+    row = _entry(n=8)                          # 32 bytes each
+    cache = MemoCache(max_entries=100, max_bytes=3 * row.nbytes)
+    for k in range(4):
+        assert cache.put(k, _entry(n=8, fill=k))
+    assert len(cache) == 3 and cache.nbytes <= 3 * row.nbytes
+    assert cache.peek(0) is None               # LRU end paid for entry 3
+    # an entry that can never fit is refused outright, evicting nothing
+    assert not cache.put("huge", _entry(n=1024))
+    assert len(cache) == 3
+    snap = cache.snapshot()
+    assert snap["rejected"] == 1 and snap["evictions"] == 1
+
+    with pytest.raises(MemoError):
+        MemoCache(max_entries=0)
+    with pytest.raises(MemoError):
+        MemoCache(max_bytes=0)
+
+
+def test_cache_entries_are_frozen_and_clear_keeps_counters():
+    cache = MemoCache(max_entries=4)
+    cache.put("k", _entry())
+    entry = cache.get("k")
+    with pytest.raises(ValueError):
+        entry.rows["H"][0] = 99.0              # read-only: no later mutation
+    cache.get("missing")
+    cache.clear()
+    snap = cache.snapshot()
+    assert snap["entries"] == 0 and snap["bytes"] == 0
+    assert snap["hits"] == 1 and snap["misses"] == 1
+    assert snap["insertions"] == 1
+    assert snap["hit_rate"] == 0.5
+
+
+def test_cache_is_thread_safe_under_a_hammer():
+    cache = MemoCache(max_entries=32, max_bytes=32 * 64)
+    errors = []
+
+    def worker(seed):
+        rng = np.random.default_rng(seed)
+        try:
+            for _ in range(300):
+                k = int(rng.integers(0, 64))
+                if rng.random() < 0.5:
+                    cache.put(k, _entry(fill=k))
+                else:
+                    e = cache.get(k)
+                    if e is not None:
+                        assert e.rows["H"][0] == k
+        except Exception as exc:               # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(CHAOS_SEED + i,))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 32 and cache.nbytes <= 32 * 64
+    snap = cache.snapshot()
+    assert snap["insertions"] > 0
+
+
+# ---------------------------------------------------------------------------
+# refusal: bitwise identity or a typed no up front
+
+
+def test_policy_rejects_leaf_sized_entries():
+    with pytest.raises(SpliceRefusedError):
+        MemoPolicy(min_subtree_nodes=1)
+
+
+def test_static_batch_compile_refuses_splicing():
+    m = api.compile("treernn", DEBUG, hidden=8, vocab=VOCAB)
+    reason = splice_refusal(m)
+    assert reason is not None and "dynamic batching" in reason
+    with pytest.raises(SpliceRefusedError):
+        MemoSplicer(m)
+    with pytest.raises(SpliceRefusedError):
+        m.server(memo="on")
+
+
+def test_server_validates_memo_arguments():
+    m = _small_model("treefc")
+    with pytest.raises(ServingError):
+        ModelServer(m, memo="off", memo_cache=MemoCache())
+    with pytest.raises(ServingError):
+        ModelServer(m, memo="off", memo_policy=MemoPolicy())
+    with pytest.raises(ServingError):
+        ModelServer(m, memo="sometimes")
+
+
+def test_compile_options_validate_and_route_memo():
+    with pytest.raises(ScheduleError):
+        api.compile("treernn", CompileOptions(memo="bogus"),
+                    hidden=8, vocab=VOCAB)
+    m = api.compile("treernn", CompileOptions(memo="on"),
+                    hidden=8, vocab=VOCAB)
+    srv = m.server(policy=MaxPendingRequests(4))
+    assert srv.memo is not None                # options default carried over
+    srv2 = m.server(policy=MaxPendingRequests(4), memo="off")
+    assert srv2.memo is None                   # explicit kwarg wins
+
+
+def test_session_rejects_foreign_splicer():
+    a, b = _small_model("treernn"), _small_model("treegru")
+    splicer = MemoSplicer(a)
+    with pytest.raises(MemoError):
+        MemoSession(b, splicer=splicer)
+
+
+# ---------------------------------------------------------------------------
+# the tentpole invariant: memo-on serving is bitwise memo-off, zoo-wide
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_memo_serving_is_bitwise_identical_to_plain(name):
+    """Same stream through memo-on and memo-off servers: equal bits.
+
+    The stream shares Zipf-popular substructures across requests, so the
+    memo server actually splices (asserted below) — the comparison is
+    cache-path against plain path, not cold cache against cold cache.
+    """
+    m = _small_model(name)
+    stream = _stream(name, 24, CHAOS_SEED)
+    plain = m.server(policy=MaxPendingRequests(4))
+    memo = m.server(policy=MaxPendingRequests(4), memo="on")
+    plain_handles = plain.serve_forever(stream)
+    memo_handles = memo.serve_forever(stream)
+    outs = m.lowered.module.output_buffers
+    for hp, hm in zip(plain_handles, memo_handles):
+        for out in outs:
+            assert np.array_equal(hp.result().root_output(out),
+                                  hm.result().root_output(out)), (name, out)
+    snap = memo.metrics_snapshot()["memo"]
+    assert snap["hits"] > 0, name              # the cache really engaged
+    assert snap["spliced_nodes"] > 0, name
+    assert snap["executed_nodes"] < snap["total_nodes"], name
+
+
+def test_zipf_treelstm_stream_meets_the_hit_rate_gate():
+    """The acceptance workload: 200 Zipf(1.1) requests, hit rate >= 30%."""
+    m = _small_model("treelstm")
+    stream = zipf_tree_stream(200, vocab_size=VOCAB, zipf_a=1.1, seed=42)
+    plain = m.server(policy=MaxPendingRequests(16))
+    memo = m.server(policy=MaxPendingRequests(16), memo="on")
+    plain_handles = plain.serve_forever(stream)
+    memo_handles = memo.serve_forever(stream)
+    out = m.lowered.module.output_buffers[0]
+    for hp, hm in zip(plain_handles, memo_handles):
+        assert np.array_equal(hp.result().root_output(out),
+                              hm.result().root_output(out))
+    snap = memo.metrics_snapshot()["memo"]
+    assert snap["requests"] == 200
+    assert snap["hit_rate"] >= 0.30
+    assert snap["full_hit_requests"] > 0
+    assert snap["cache"]["entries"] > 0
+
+
+def test_eviction_pressure_never_breaks_bitwise_identity():
+    """A 6-entry cache thrashes on the stream yet stays bitwise exact."""
+    m = _small_model("treegru")
+    policy = MemoPolicy(max_entries=6, max_bytes=1 << 20)
+    sess = MemoSession(m, policy=policy)
+    for roots in zipf_tree_stream(30, vocab_size=VOCAB, seed=CHAOS_SEED):
+        got = sess.run(roots)
+        for out in m.lowered.module.output_buffers:
+            assert np.array_equal(got[out], _solo_rows(m, roots, out))
+    snap = sess.stats()
+    assert snap["cache"]["evictions"] > 0      # the cap really bit
+    assert snap["hits"] > 0
+
+
+def test_shared_cache_across_models_never_aliases():
+    """One MemoCache, two models: keys embed the model fingerprint."""
+    cache = MemoCache()
+    a, b = _small_model("treernn"), _small_model("treegru")
+    tree = _balanced(3, np.random.default_rng(CHAOS_SEED))
+    sa, sb = MemoSession(a, cache=cache), MemoSession(b, cache=cache)
+    for _ in range(2):                         # second pass is a full hit
+        out_a = sa.run(tree)
+        out_b = sb.run(tree)
+    for out in a.lowered.module.output_buffers:
+        assert np.array_equal(out_a[out], _solo_rows(a, tree, out))
+    for out in b.lowered.module.output_buffers:
+        assert np.array_equal(out_b[out], _solo_rows(b, tree, out))
+    # both models populated the one store, under disjoint keys
+    per_model = len(cache) // 2
+    assert per_model > 0 and sa.last.executed_nodes == 0
+    assert sb.last.executed_nodes == 0
+
+
+# ---------------------------------------------------------------------------
+# incremental inference: sessions and grafts
+
+
+def test_warm_session_executes_zero_nodes():
+    m = _small_model("treelstm")
+    sess = MemoSession(m)
+    rng = np.random.default_rng(CHAOS_SEED)
+    tree = _balanced(4, rng)                   # 31 nodes
+    cold = sess.run(tree)
+    assert sess.last.executed_nodes == sess.last.total_nodes == 31
+    assert sess.last.hits == 0
+    # a *structurally equal fresh object*: content addressing, not
+    # object identity, drives the hit
+    rng2 = np.random.default_rng(CHAOS_SEED)
+    warm_tree = _balanced(4, rng2)
+    assert warm_tree is not tree
+    warm = sess.run(warm_tree)
+    assert sess.last.executed_nodes == 0       # fully spliced flush
+    assert sess.last.full_hit_requests == 1
+    for out in m.lowered.module.output_buffers:
+        assert np.array_equal(cold[out], warm[out])
+        assert np.array_equal(warm[out], _solo_rows(m, tree, out))
+
+
+def test_graft_reexecutes_only_the_dirty_spine():
+    m = _small_model("treernn")
+    sess = MemoSession(m)
+    rng = np.random.default_rng(CHAOS_SEED)
+    tree = _balanced(4, rng)                   # depth 4, 31 nodes
+    sess.run(tree)
+
+    target = tree.children[0].children[1].children[0]   # a depth-3 branch
+    edited = graft(tree, target, branch(leaf(7), leaf(8)))
+    assert edited is not tree and tree.children[1] is edited.children[1]
+    got = sess.run(edited)
+    # only the replacement subtree and the root-ward spine miss: the
+    # other 3 depth-1 subtrees (and the untouched sibling) splice
+    assert 0 < sess.last.executed_nodes < sess.last.total_nodes // 2
+    for out in m.lowered.module.output_buffers:
+        assert np.array_equal(got[out], _solo_rows(m, edited, out))
+
+    with pytest.raises(MemoError):
+        graft(tree, branch(leaf(1), leaf(2)), leaf(3))   # unreachable
+    repl = leaf(9)
+    assert graft(tree, tree, repl) is repl
+
+
+def test_graft_session_docstring_workflow_end_to_end():
+    """The documented loop: run, graft a leaf, run, touch ~depth nodes."""
+    m = _small_model("treegru")
+    sess = MemoSession(m)
+    tree = _balanced(5, np.random.default_rng(CHAOS_SEED))   # 63 nodes
+    sess.run(tree)
+    node = tree
+    while node.children:
+        node = node.children[0]
+    edited = graft(tree, node, leaf((node.word + 1) % VOCAB))
+    got = sess.run(edited)
+    # the dirty spine is the leaf-to-root path (6 nodes at depth 5);
+    # every interior sibling splices from cache, but the replaced leaf's
+    # *leaf* sibling sits below min_subtree_nodes and re-executes too
+    assert sess.last.executed_nodes == 7
+    assert sess.last.hits > 0
+    for out in m.lowered.module.output_buffers:
+        assert np.array_equal(got[out], _solo_rows(m, edited, out))
+
+
+# ---------------------------------------------------------------------------
+# weights: params_version is the invalidation story
+
+
+def test_bump_params_version_invalidates_stale_rows():
+    m = _small_model("treernn")
+    sess = MemoSession(m)
+    tree = _balanced(3, np.random.default_rng(CHAOS_SEED))
+    out = m.lowered.module.output_buffers[0]
+    stale = sess.run(tree)[out].copy()
+
+    name = sorted(m.params)[0]
+    m.params[name] += np.float32(0.25)         # in-place weight edit
+
+    # WITHOUT a bump the cache still answers from the old weights — this
+    # is the hazard the API pairs with the edit
+    assert np.array_equal(sess.run(tree)[out], stale)
+
+    v0 = m.params_version
+    assert m.bump_params_version() == v0 + 1
+    fresh = sess.run(tree)[out]
+    assert sess.last.hits == 0                 # old entries unreachable
+    assert not np.array_equal(fresh, stale)
+    assert np.array_equal(fresh, _solo_rows(m, tree, out))
+
+
+# ---------------------------------------------------------------------------
+# chaos: faults never poison the cache
+
+
+def test_chaos_memo_server_bitwise_or_typed_with_verify():
+    """Injected faults + verify-every-flush over a memoized server.
+
+    ``MemoPolicy(verify=True)`` re-executes every successful flush
+    unmemoized and demands byte equality *before* the cache commit — so
+    a fault that left partial rows behind would surface here as a
+    ``MemoVerifyError`` (a non-injected failure), which this test
+    forbids.  Every request must end bitwise-identical-or-typed, with
+    zero unresolved handles.
+    """
+    rng = np.random.default_rng(CHAOS_SEED)
+    m = _small_model("treelstm")
+    faults = FaultInjector(seed=CHAOS_SEED, kernel_failure_rate=0.12,
+                           arena_failure_rate=0.08)
+    srv = m.server(policy=MaxPendingRequests(4), faults=faults,
+                   memo="on", memo_policy=MemoPolicy(verify=True))
+    stream = zipf_tree_stream(60, vocab_size=VOCAB, seed=CHAOS_SEED)
+    handles = [srv.submit(r) for r in stream]
+    srv.drain()
+    assert all(h.done() for h in handles)      # zero unresolved
+    injected = 0
+    for roots, h in zip(stream, handles):
+        exc = h.exception()
+        if exc is None:
+            _assert_bitwise_solo(m, roots, h.result())
+        else:
+            assert not isinstance(exc, MemoVerifyError)
+            assert isinstance(exc, CortexError)
+            assert getattr(exc, "injected", False)
+            injected += 1
+    assert faults.kernel_failures + faults.arena_failures > 0
+    snap = srv.metrics_snapshot()["memo"]
+    assert snap["hits"] > 0                    # chaos didn't disable the cache
+    assert snap["cache"]["entries"] > 0
+
+
+def test_faulted_flush_commits_nothing():
+    """A flush that dies mid-execution must not insert any rows."""
+    m = _small_model("treefc")
+    faults = FaultInjector(seed=CHAOS_SEED, kernel_failure_rate=1.0,
+                           max_injections=1)
+    srv = m.server(policy=MaxPendingRequests(4), faults=faults)
+    # hand-wire the memo splicer so the failing attempt is observable
+    splicer = MemoSplicer(m)
+    srv.memo = splicer
+    tree = _balanced(3, np.random.default_rng(CHAOS_SEED))
+    h = srv.submit(tree)
+    srv.drain()
+    assert h.exception() is None               # retry healed it
+    # the failed first attempt committed nothing: every entry present
+    # came from the successful retry, and replays bitwise
+    assert len(splicer.cache) > 0
+    sess = MemoSession(m, splicer=splicer)
+    got = sess.run(_balanced(3, np.random.default_rng(CHAOS_SEED)))
+    assert sess.last.executed_nodes == 0
+    for out in m.lowered.module.output_buffers:
+        assert np.array_equal(got[out], _solo_rows(m, tree, out))
+
+
+def test_verify_mode_catches_a_poisoned_entry():
+    """Corrupt a cached row by hand: verify must refuse to serve it."""
+    m = _small_model("treernn")
+    cache = MemoCache()
+    sess = MemoSession(m, cache=cache)
+    tree = _balanced(3, np.random.default_rng(CHAOS_SEED))
+    sess.run(tree)
+
+    key = cache_key(m.memo_model_key(), m.params_version,
+                    subtree_digest(tree))
+    entry = cache.peek(key)
+    assert entry is not None
+    poisoned = {name: row.copy() + np.float32(1.0)
+                for name, row in entry.rows.items()}
+    assert cache.put(key, MemoEntry.from_rows(poisoned, entry.nodes))
+
+    checked = MemoSession(m, splicer=MemoSplicer(
+        m, cache=cache, policy=MemoPolicy(verify=True)))
+    with pytest.raises(MemoVerifyError):
+        checked.run(_balanced(3, np.random.default_rng(CHAOS_SEED)))
+    # without verify the poison would have been served silently — the
+    # point of the check
+    assert MemoVerifyError.__mro__.index(CortexError) > 0
+
+
+# ---------------------------------------------------------------------------
+# observability: metrics, gauges, trace instants, CLI
+
+
+def test_memo_metrics_gauges_and_trace_instants():
+    m = _small_model("treegru")
+    tracer = Tracer()
+    srv = m.server(policy=MaxPendingRequests(8), memo="on", tracer=tracer)
+    srv.serve_forever(zipf_tree_stream(30, vocab_size=VOCAB,
+                                       seed=CHAOS_SEED))
+    snap = srv.metrics_snapshot()
+    memo = snap["memo"]
+    for k in ("flushes", "requests", "lookups", "hits", "hit_rate",
+              "total_nodes", "executed_nodes", "spliced_nodes",
+              "spliced_fraction", "full_hit_requests", "cache"):
+        assert k in memo, k
+    assert memo["spliced_nodes"] == memo["total_nodes"] - \
+        memo["executed_nodes"]
+    text = srv.metrics_prometheus()
+    for gauge in ("memo_cache_entries", "memo_cache_bytes", "memo_hits",
+                  "memo_spliced_nodes", "memo_full_hit_requests"):
+        assert gauge in text, gauge
+    doc = srv.trace_export()
+    assert validate_chrome_trace(doc) > 0
+    names = {ev.get("name") for ev in doc["traceEvents"]}
+    assert "memo_splice" in names
+    splices = [ev for ev in doc["traceEvents"]
+               if ev.get("name") == "memo_splice"]
+    assert any(ev["args"].get("hits", 0) > 0 for ev in splices)
+
+
+def test_cli_memo_reports_the_cache(capsys):
+    from repro.tools.cli import main
+
+    assert main(["memo", "treernn", "--hidden", "8",
+                 "--requests", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "subtree hit rate" in out
+    assert "insertions / evictions / rejected" in out
+
+    assert main(["memo", "treernn", "--hidden", "8", "--requests", "40",
+                 "--json"]) == 0
+    memo = json.loads(capsys.readouterr().out)
+    assert memo["hits"] > 0 and 0.0 < memo["hit_rate"] <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# odds and ends the layers above rely on
+
+
+def test_splicer_accepts_mixed_node_and_sequence_root_sets():
+    m = _small_model("treefc")
+    sess = MemoSession(m)
+    rng = np.random.default_rng(CHAOS_SEED)
+    single = _balanced(2, rng)
+    pair = synthetic_treebank(2, vocab_size=VOCAB, rng=rng)
+    outs = sess.run_many([single, pair])
+    assert len(outs) == 2
+    solo = m.run(pair)
+    ids = [solo.lin.node_id(r) for r in pair]
+    out = m.lowered.module.output_buffers[0]
+    assert np.array_equal(outs[1][out], solo.workspace[out][ids])
+
+
+def test_memoized_sequences_share_prefixes():
+    m = _small_model("seq_gru")
+    sess = MemoSession(m)
+    words = [int(w) for w in
+             np.random.default_rng(CHAOS_SEED).integers(0, VOCAB, 12)]
+    base = make_sequence(words)
+    sess.run(base)
+    extended = Node((base,), words[0])         # one more token on top
+    sess.run(extended)
+    assert sess.last.executed_nodes == 1       # the new token only
+    out = m.lowered.module.output_buffers[0]
+    got = sess.run(Node((make_sequence(words),), words[0]))   # fresh objects
+    assert np.array_equal(got[out], _solo_rows(m, extended, out))
