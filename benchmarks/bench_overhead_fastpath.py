@@ -25,9 +25,11 @@ import pytest
 from conftest import save_result
 from repro.bench import (cortex_percall_wall_s, format_table,
                          record_bench_json)
+from repro.runtime.native import native_available
 from pathlib import Path
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_overhead.json"
+NATIVE_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_native.json"
 
 #: small/medium hidden size: the regime where host overheads dominate
 #: (Fig. 7's flat region) and the paper's low-overhead claim is made
@@ -94,3 +96,62 @@ def test_overhead_fastpath(benchmark):
     # (it additionally copies outputs), and every config must beat seed.
     for key, r in results.items():
         assert r["speedup_fast_vs_seed"] > 1.0, (key, r)
+
+
+#: the regime where the native backend wins: small batches, where kernel
+#: launches are many and tiny, so NumPy's per-op dispatch dominates.  At
+#: larger batches BLAS-backed matmuls catch back up to the scalar C loops,
+#: which is why the gate below only binds the batch-size-1 row.
+NATIVE_BATCH_SIZES = (1, 10)
+
+
+def _run_native():
+    rows = []
+    results = {}
+    for model_name in MODELS:
+        for bs in NATIVE_BATCH_SIZES:
+            per = {}
+            for mode in ("seed", "fast", "native"):
+                per[mode] = cortex_percall_wall_s(
+                    model_name, HIDDEN, bs, mode=mode,
+                    **_budget(model_name, bs))
+            vs_fast = per["fast"]["percall_s"] / per["native"]["percall_s"]
+            vs_seed = per["seed"]["percall_s"] / per["native"]["percall_s"]
+            rows.append([model_name, bs,
+                         per["seed"]["percall_s"] * 1e6,
+                         per["fast"]["percall_s"] * 1e6,
+                         per["native"]["percall_s"] * 1e6,
+                         round(vs_fast, 2), round(vs_seed, 2)])
+            results[f"{model_name}_bs{bs}"] = {
+                "seed_percall_us": per["seed"]["percall_s"] * 1e6,
+                "fast_percall_us": per["fast"]["percall_s"] * 1e6,
+                "native_percall_us": per["native"]["percall_s"] * 1e6,
+                "speedup_native_vs_fast": vs_fast,
+                "speedup_native_vs_seed": vs_seed,
+            }
+    return rows, results
+
+
+def test_native_backend(benchmark):
+    if not native_available():
+        pytest.skip("no C compiler on the host; native backend unavailable")
+    rows, results = benchmark.pedantic(_run_native, rounds=1, iterations=1)
+    table = format_table(
+        ["Model", "Batch", "seed (us)", "fast (us)", "native (us)",
+         "vs fast", "vs seed"],
+        rows,
+        title=f"Per-call wall time, hidden={HIDDEN} "
+              f"(native .so kernels vs Python targets)")
+    save_result("native_backend", table)
+    record_bench_json(NATIVE_JSON_PATH, {
+        "benchmark": "native_backend",
+        "hidden": HIDDEN,
+        "results": results,
+    })
+
+    # Acceptance gate (small-batch regime only): batch-size-1 TreeLSTM
+    # through the JIT-compiled .so must beat the fast Python target by
+    # >= 1.5x and the seed path by >= 3x.
+    gate = results["treelstm_bs1"]
+    assert gate["speedup_native_vs_fast"] >= 1.5, results
+    assert gate["speedup_native_vs_seed"] >= 3.0, results

@@ -397,6 +397,7 @@ def compile_model(name: Union[str, ModelSpec], hidden: Optional[int] = None,
                   unroll: bool = False, refactor: bool = False,
                   per_block: bool = False, rational_approx: bool = False,
                   dense_intermediates: bool = True,
+                  target: str = "python",
                   rng: Optional[np.random.Generator] = None,
                   params: Optional[Mapping[str, np.ndarray]] = None,
                   **build_kw) -> CortexModel:
@@ -414,6 +415,6 @@ def compile_model(name: Union[str, ModelSpec], hidden: Optional[int] = None,
         fusion=fusion, specialize=specialize, dynamic_batch=dynamic_batch,
         persistence=persistence, unroll=unroll, refactor=refactor,
         per_block=per_block, rational_approx=rational_approx,
-        dense_intermediates=dense_intermediates)
+        dense_intermediates=dense_intermediates, target=target)
     return compile(name, opts, hidden=hidden, vocab=vocab, rng=rng,
                    params=params, **build_kw)

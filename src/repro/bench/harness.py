@@ -105,6 +105,9 @@ def cortex_percall_wall_s(model_name: str, hidden: int, batch_size: int, *,
       validation, per-call host derivation (``execute_reference``);
     * ``"fast"``     — the plan+arena path (``run(reuse=True,
       validate=False)``);
+    * ``"native"``   — the same plan+arena path with ``target="c"``: the
+      JIT-compiled ``.so`` kernels launched zero-copy through ctypes
+      (requires a C compiler; see :mod:`repro.runtime.native`);
     * ``"run_many"`` — the streaming API, amortizing over ``inner`` batches
       per timed call.
 
@@ -113,6 +116,8 @@ def cortex_percall_wall_s(model_name: str, hidden: int, batch_size: int, *,
     """
     from ..runtime.executor import execute_reference
 
+    if mode == "native":
+        schedule = {**schedule, "target": "c"}
     model = cortex_model(model_name, hidden, **schedule)
     roots = paper_inputs(model_name, batch_size)
 
@@ -128,7 +133,7 @@ def cortex_percall_wall_s(model_name: str, hidden: int, batch_size: int, *,
         def block():
             for _ in range(inner):
                 call()
-    elif mode == "fast":
+    elif mode in ("fast", "native"):
         def block():
             for _ in range(inner):
                 model.run(roots, reuse=True, validate=False)

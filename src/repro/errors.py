@@ -56,6 +56,28 @@ class CodegenError(CortexError):
     """Code generation encountered an unsupported construct."""
 
 
+class NativeError(CodegenError):
+    """The native (C -> ``.so``) backend failed or refused a launch.
+
+    Raised for toolchain problems (no compiler, compilation failure,
+    missing symbols) and — critically — for launch-time marshalling
+    violations: a buffer whose dtype does not match the kernel's compiled
+    ABI, or a non-C-contiguous array that a zero-copy pointer pass would
+    silently reinterpret as dense memory.  Subclasses
+    :class:`CodegenError` so existing "codegen problem" handling covers
+    the native layer too.
+    """
+
+
+class NativeFallbackWarning(UserWarning):
+    """``target="c"`` fell back to the fast Python target.
+
+    Emitted (never raised) when native-backend construction cannot
+    proceed — typically no C compiler on the host, or ``REPRO_NO_CC=1``.
+    The model still compiles and runs, through the Python kernels.
+    """
+
+
 class LinearizationError(CortexError):
     """The data structure linearizer rejected an input structure."""
 

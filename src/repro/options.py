@@ -57,7 +57,7 @@ _BOOL_FIELDS = ("specialize", "dynamic_batch", "persistence", "unroll",
                 "dense_intermediates", "strict_bounds")
 
 #: bump when the meaning of a field changes, so old cache keys expire
-_CACHE_KEY_VERSION = 1
+_CACHE_KEY_VERSION = 2
 
 
 class Validate(enum.Enum):
@@ -135,6 +135,11 @@ class CompileOptions:
     #: built from a model compiled with "on" default to a memoizing path;
     #: see :mod:`repro.memo`)
     memo: str = "off"
+    #: execution target: "python" (vectorized NumPy kernels) or "c"
+    #: (JIT-compiled native shared library launched via ctypes; falls
+    #: back to the fast Python target with a NativeFallbackWarning when
+    #: no C compiler is available — see :mod:`repro.runtime.native`)
+    target: str = "python"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -160,6 +165,10 @@ class CompileOptions:
             raise ScheduleError(
                 f"CompileOptions.memo must be 'off' or 'on', "
                 f"got {self.memo!r}")
+        if self.target not in ("python", "c"):
+            raise ScheduleError(
+                f"CompileOptions.target must be 'python' or 'c', "
+                f"got {self.target!r}")
         from .ra.schedule import CortexSchedule
 
         CortexSchedule(
@@ -261,6 +270,8 @@ class CompileOptions:
         """Compact one-line rendering (benchmark tables, logs)."""
         on = [f.name for f in dataclasses.fields(self)
               if getattr(self, f.name) is True]
+        if self.target != "python":
+            on.append(f"target={self.target}")
         return f"fusion={self.fusion} " + (" ".join(sorted(on)) or "(bare)")
 
 

@@ -34,9 +34,12 @@ from .models.registry import ModelSpec, resolve_model
 from .obs import STATUS_ERROR, Tracer
 from .options import CompileOptions
 from .ra.lowering import lower, run_codegen
+from .runtime.native import attach_native
 from .runtime.plan import get_host_plan
 
-#: stage names, in execution order
+#: stage names of the default (Python-target) pipeline, in execution
+#: order; compiling with ``CompileOptions(target="c")`` inserts a
+#: ``native`` stage between ``codegen`` and ``plan``
 STAGES = ("build", "schedule", "lower", "codegen", "plan")
 
 #: hook signature: called after a stage completes
@@ -168,8 +171,17 @@ class CompilerPipeline:
             run_codegen(lowered.module)
             finish("codegen", t0)
 
-            t0 = time.perf_counter()
             compiled = CompiledModule(lowered.module)
+            if opts.target == "c":
+                # native stage: JIT the C source into a cached .so and
+                # attach the launchers; on fallback (no compiler) the
+                # stage still records — with nothing attached, the plan
+                # dispatches the fast Python kernels unchanged
+                t0 = time.perf_counter()
+                attach_native(compiled)
+                finish("native", t0)
+
+            t0 = time.perf_counter()
             plan = get_host_plan(lowered, compiled)
             finish("plan", t0)
         except BaseException as exc:

@@ -1,0 +1,286 @@
+"""Native (C -> ``.so``) JIT backend: compile once, launch zero-copy.
+
+The JITModule pattern: :func:`generate_c_module` renders one
+self-contained C translation unit per ILIR module; this layer hashes the
+source + compiler + flags into a cache key, compiles it once with the
+system compiler (``cc -O2 -shared -fPIC``) into a cached shared library,
+loads it via :mod:`ctypes`, and wraps each exported kernel in a callable
+with the Python kernels' exact calling convention — so
+:func:`repro.runtime.plan.execute_plan` dispatches native launches
+through the unchanged arena/profiler/fault-hook path.
+
+Marshalling is zero-copy: NumPy buffers pass as raw data pointers
+(``ndarray.ctypes.data_as``).  That makes launch-time validation
+non-negotiable — a wrong-dtype or non-contiguous array would be silently
+reinterpreted as dense memory of another shape — so every launch checks
+both and raises :class:`~repro.errors.NativeError` instead of corrupting
+memory.
+
+No compiler on the host (or ``REPRO_NO_CC=1``) is not an error:
+:func:`attach_native` warns with
+:class:`~repro.errors.NativeFallbackWarning` and the model runs on the
+fast Python target.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CodegenError, NativeError, NativeFallbackWarning
+from ..ilir.codegen.c_codegen import (KernelSignature, generate_c_module)
+
+#: flags the JIT always compiles with.  ``-ffp-contract=off`` matters for
+#: parity: without it the compiler may fuse ``a*b + c`` into an FMA, which
+#: rounds once where NumPy rounds twice — breaking bitwise agreement on
+#: otherwise reassociation-free kernels.
+DEFAULT_CFLAGS: Tuple[str, ...] = ("-O2", "-fPIC", "-shared",
+                                   "-ffp-contract=off")
+
+#: NumPy dtype -> ctypes element type for zero-copy pointer marshalling.
+DTYPE_TO_CTYPE = {
+    np.dtype("float32"): ctypes.c_float,
+    np.dtype("float64"): ctypes.c_double,
+    np.dtype("int32"): ctypes.c_int32,
+    np.dtype("int64"): ctypes.c_int64,
+    np.dtype("bool"): ctypes.c_uint8,
+}
+
+
+def ctype_for(dtype) -> type:
+    """The ctypes element type for a NumPy dtype (typed error if none)."""
+    try:
+        return DTYPE_TO_CTYPE[np.dtype(dtype)]
+    except KeyError:
+        raise NativeError(
+            f"no native marshalling for dtype {np.dtype(dtype)}; supported: "
+            f"{sorted(str(d) for d in DTYPE_TO_CTYPE)}") from None
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the system C compiler, or ``None``.
+
+    ``REPRO_NO_CC=1`` forces ``None`` (the CI fallback lane);
+    ``REPRO_CC``/``CC`` override the probe order ``cc``, ``gcc``,
+    ``clang``.
+    """
+    if os.environ.get("REPRO_NO_CC"):
+        return None
+    override = os.environ.get("REPRO_CC") or os.environ.get("CC")
+    if override:
+        return shutil.which(override)
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def native_available() -> bool:
+    return find_compiler() is not None
+
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if env:
+        return Path(env)
+    try:
+        base = Path.home() / ".cache" / "repro" / "native"
+        base.mkdir(parents=True, exist_ok=True)
+        return base
+    except OSError:
+        return Path(tempfile.gettempdir()) / "repro-native"
+
+
+def build_shared_library(source: str, *, cc: str,
+                         flags: Sequence[str] = DEFAULT_CFLAGS,
+                         cache_dir: Optional[os.PathLike] = None) -> Path:
+    """Compile ``source`` into a cached ``.so`` and return its path.
+
+    The cache key is the hash of (source, compiler basename, flags): a
+    re-render of the same module reuses the library without invoking the
+    compiler; any source or flag change gets a fresh directory.  Builds
+    are atomic (compile to a temp name, ``os.replace`` into place) so
+    concurrent processes never load a half-written library.
+    """
+    base = Path(cache_dir) if cache_dir is not None else _default_cache_dir()
+    key_text = "\x00".join([source, os.path.basename(cc), *flags])
+    key = hashlib.sha256(key_text.encode("utf-8")).hexdigest()[:24]
+    mod_dir = base / key
+    so_path = mod_dir / "module.so"
+    if so_path.exists():
+        return so_path
+    try:
+        mod_dir.mkdir(parents=True, exist_ok=True)
+        c_path = mod_dir / "module.c"
+        c_path.write_text(source)
+        tmp = mod_dir / f".build-{os.getpid()}.so"
+        cmd = [cc, *flags, "-o", str(tmp), str(c_path), "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise NativeError(
+                f"C compilation failed ({' '.join(cmd)}):\n"
+                f"{proc.stderr.strip()[-2000:]}")
+        os.replace(tmp, so_path)
+    except OSError as e:
+        raise NativeError(f"native build cache I/O failure: {e}") from e
+    return so_path
+
+
+class NativeKernelLauncher:
+    """One compiled kernel as a Python callable.
+
+    Calling convention matches the Python kernels exactly —
+    ``fn(ws, c)`` for pre/hoisted/post/fused, ``fn(ws, c, begin,
+    length)`` for leaf/level — so :class:`~repro.runtime.plan.HostPlan`
+    launch records need no special casing.  ``is_native`` marks the
+    callable for :class:`~repro.runtime.profiler.KernelProfiler`
+    labeling.
+    """
+
+    is_native = True
+
+    __slots__ = ("name", "kind", "signature", "_cfunc", "_arrays", "_scalars")
+
+    def __init__(self, cfunc, signature: KernelSignature):
+        self.name = signature.name
+        self.kind = signature.kind
+        self.signature = signature
+        arrays = []
+        argtypes = []
+        for arr_name, dtype_name, _writable in signature.arrays:
+            dt = np.dtype(dtype_name)
+            ptype = ctypes.POINTER(ctype_for(dt))
+            arrays.append((arr_name, dt, ptype))
+            argtypes.append(ptype)
+        argtypes += [ctypes.POINTER(ctypes.c_int64),
+                     ctypes.c_int64, ctypes.c_int64]
+        cfunc.argtypes = argtypes
+        cfunc.restype = None
+        self._cfunc = cfunc
+        self._arrays = tuple(arrays)
+        self._scalars = signature.scalars
+
+    def __call__(self, ws, c, begin: int = 0, length: int = 0) -> None:
+        args = []
+        for name, dt, ptype in self._arrays:
+            arr = ws.get(name)
+            if arr is None:
+                raise NativeError(
+                    f"kernel {self.name}: workspace is missing buffer "
+                    f"{name!r} required by the native launch ABI")
+            if arr.dtype != dt:
+                raise NativeError(
+                    f"kernel {self.name}: buffer {name!r} has dtype "
+                    f"{arr.dtype}, compiled ABI expects {dt}; zero-copy "
+                    f"launch refuses to reinterpret memory")
+            if not arr.flags.c_contiguous:
+                raise NativeError(
+                    f"kernel {self.name}: buffer {name!r} is not "
+                    f"C-contiguous; a zero-copy launch would read the "
+                    f"strided view as dense memory")
+            args.append(arr.ctypes.data_as(ptype))
+        svec = (ctypes.c_int64 * len(self._scalars))(
+            *(int(c[s]) for s in self._scalars))
+        self._cfunc(*args, svec, int(begin), int(length))
+
+
+class NativeModule:
+    """A compiled-and-loaded native kernel module.
+
+    ``fns`` maps kernel names to :class:`NativeKernelLauncher` callables
+    — a drop-in replacement for ``CompiledModule.fns`` in host plans.
+    Construct either from source (JIT path) or from a prebuilt ``so_path``
+    (artifact path; the caller is responsible for checking the source
+    hash before trusting a prebuilt library).
+    """
+
+    def __init__(self, source: str,
+                 signatures: Dict[str, KernelSignature], *,
+                 so_path: Optional[os.PathLike] = None,
+                 cc: Optional[str] = None,
+                 flags: Sequence[str] = DEFAULT_CFLAGS,
+                 cache_dir: Optional[os.PathLike] = None):
+        self.source = source
+        self.signatures = dict(signatures)
+        self.flags = tuple(flags)
+        self.source_hash = source_hash(source)
+        if so_path is not None and Path(so_path).exists():
+            self.cc = cc or "(prebuilt)"
+            self.so_path = Path(so_path)
+        else:
+            self.cc = cc or find_compiler()
+            if self.cc is None:
+                raise NativeError(
+                    "no C compiler found (tried $REPRO_CC/$CC, cc, gcc, "
+                    "clang; REPRO_NO_CC forces this)")
+            self.so_path = build_shared_library(
+                source, cc=self.cc, flags=self.flags, cache_dir=cache_dir)
+        try:
+            self._lib = ctypes.CDLL(str(self.so_path))
+        except OSError as e:
+            raise NativeError(
+                f"failed to load native library {self.so_path}: {e}") from e
+        self.fns: Dict[str, NativeKernelLauncher] = {}
+        for name, sig in self.signatures.items():
+            try:
+                cfunc = getattr(self._lib, sig.symbol)
+            except AttributeError:
+                raise NativeError(
+                    f"native library {self.so_path} exports no symbol "
+                    f"{sig.symbol!r}") from None
+            self.fns[name] = NativeKernelLauncher(cfunc, sig)
+
+    @classmethod
+    def from_ilmodule(cls, module, **kwargs) -> "NativeModule":
+        """JIT an ILIR module (requires operator nests)."""
+        source, signatures = generate_c_module(module)
+        return cls(source, signatures, **kwargs)
+
+
+def attach_native(compiled, *, source: Optional[str] = None,
+                  signatures: Optional[Dict[str, KernelSignature]] = None,
+                  so_path: Optional[os.PathLike] = None,
+                  cc: Optional[str] = None,
+                  cache_dir: Optional[os.PathLike] = None,
+                  warn: bool = True) -> Optional["NativeModule"]:
+    """Build and attach a :class:`NativeModule` to a ``CompiledModule``.
+
+    Returns the attached module, or ``None`` after emitting
+    :class:`NativeFallbackWarning` when the native target cannot be
+    built (no compiler, unsupported construct, toolchain failure) — the
+    model then executes through the fast Python target unchanged.
+    """
+    import warnings
+
+    try:
+        if source is not None and signatures is not None:
+            native = NativeModule(source, signatures, so_path=so_path,
+                                  cc=cc, cache_dir=cache_dir)
+        else:
+            native = NativeModule.from_ilmodule(compiled.module, cc=cc,
+                                                cache_dir=cache_dir)
+    except (CodegenError, NativeError) as e:
+        if warn:
+            warnings.warn(
+                f"native backend unavailable ({e}); falling back to the "
+                f"fast Python target", NativeFallbackWarning, stacklevel=2)
+        return None
+    compiled.native = native
+    return native

@@ -224,7 +224,12 @@ def build_host_plan(lowered: Lowered, compiled: CompiledModule) -> HostPlan:
     module = lowered.module
     conservative = not (module.kernels
                         and all(k.nests for k in module.kernels))
-    fns = compiled.fns if conservative else compiled.launch_fns
+    fns = dict(compiled.fns if conservative else compiled.launch_fns)
+    native = getattr(compiled, "native", None)
+    if native is not None:
+        # native target: same launch records, compiled-C callables; any
+        # kernel the native module lacks keeps its Python implementation
+        fns.update(native.fns)
     groups: Dict[str, List[Tuple[str, Callable]]] = {
         "pre": [], "leaf": [], "level": [], "fused": [], "post": []}
     for step in module.steps:

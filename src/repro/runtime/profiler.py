@@ -78,6 +78,8 @@ class KernelProfiler:
         self._lock = threading.Lock()
         #: kernel name -> [calls, total seconds]
         self._kernels: Dict[str, List[float]] = {}
+        #: kernel names whose wrapped callable is a native (.so) launcher
+        self._native: set = set()
         self.executions = 0
         self.linearize_s = 0.0
         self.workspace_s = 0.0
@@ -94,6 +96,9 @@ class KernelProfiler:
         """
         out: List[Tuple[str, Callable]] = []
         for name, fn in records:
+            if getattr(fn, "is_native", False):
+                with self._lock:
+                    self._native.add(name)
             def timed(*args, _fn=fn, _name=name):
                 t0 = self._clock()
                 r = _fn(*args)
@@ -139,7 +144,8 @@ class KernelProfiler:
         with self._lock:
             kernels = {
                 name: {"calls": int(calls), "total_s": total,
-                       "mean_us": (total / calls * 1e6) if calls else 0.0}
+                       "mean_us": (total / calls * 1e6) if calls else 0.0,
+                       "native": name in self._native}
                 for name, (calls, total) in sorted(self._kernels.items())}
             return {
                 "executions": self.executions,
@@ -151,6 +157,12 @@ class KernelProfiler:
                 "exec_s": self.exec_s,
                 "kernels": kernels,
             }
+
+    @property
+    def native_kernels(self) -> frozenset:
+        """Names of profiled kernels that launched through the native ABI."""
+        with self._lock:
+            return frozenset(self._native)
 
     def breakdown(self, framework: str = "Cortex (measured)"
                   ) -> ActivityBreakdown:
@@ -164,6 +176,8 @@ class KernelProfiler:
         with self._lock:
             kernel_s = sum(s for _, s in self._kernels.values())
             calls = int(sum(c for c, _ in self._kernels.values()))
+            if self._native and framework == "Cortex (measured)":
+                framework = "Cortex (measured, native)"
             return ActivityBreakdown(
                 framework=framework,
                 dynamic_batching_s=self.linearize_s,
@@ -180,6 +194,7 @@ class KernelProfiler:
     def reset(self) -> None:
         with self._lock:
             self._kernels.clear()
+            self._native.clear()
             self.executions = 0
             self.linearize_s = 0.0
             self.workspace_s = 0.0

@@ -15,6 +15,15 @@ The reloaded :class:`DeployedModel` implements the same
 closes: ``load_model(path).server()`` coalesces and serves bit-identically
 to a server over the original model.
 
+Models compiled with ``target="c"`` additionally bake the native
+backend: the generated C source (``module.c``), the prebuilt shared
+library (``module.native.so``) and ``native.json`` (source hash,
+compiler, flags, kernel launch signatures).  ``load_model`` reuses the
+prebuilt ``.so`` when ``module.c`` still hashes to the source it was
+compiled from, recompiles it otherwise, and falls back to the Python
+kernels (with a :class:`~repro.errors.NativeFallbackWarning`) when no
+compiler is available.
+
 Deployed artifacts execute numerics only; simulated-latency estimation
 needs the full compiler session (operator nests are not serialized).
 """
@@ -22,6 +31,8 @@ needs the full compiler session (operator nests are not serialized).
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -30,6 +41,8 @@ import numpy as np
 from ..api import CortexModel, RunnableModel
 from ..errors import CortexError, ExecutionError
 from ..ilir.buffer import ILBuffer
+from ..ilir.codegen.c_codegen import (KernelSignature, signatures_from_json,
+                                      signatures_to_json)
 from ..ilir.codegen.compiled import CompiledModule
 from ..ilir.module import HostStep, ILModule, Kernel
 from ..ir import Const, DimRegistry, Var, dtype_of
@@ -37,6 +50,7 @@ from ..linearizer import Linearizer, StructureKind
 from ..options import CompileOptions
 from ..ra.lowering import Lowered
 from ..runtime.memory import WorkspaceArena
+from ..runtime.native import attach_native, source_hash
 from ..runtime.plan import get_host_plan
 
 MANIFEST = "manifest.json"
@@ -44,6 +58,8 @@ SOURCE = "module.py"
 C_SOURCE = "module.c"
 PARAMS = "params.npz"
 OPTIONS = "options.json"
+NATIVE_SO = "module.native.so"
+NATIVE_META = "native.json"
 
 #: symbolic shape extents the executor binds at run time
 _RUNTIME_VARS = {"num_nodes", "max_batch_len"}
@@ -104,7 +120,26 @@ def save_model(model: CortexModel, path: Union[str, Path]) -> Path:
         # must not be attributed to this optionless model
         (path / OPTIONS).unlink()
     (path / SOURCE).write_text(module.python_source or "")
-    (path / C_SOURCE).write_text(module.c_source or "")
+    native = getattr(model.compiled, "native", None)
+    # when a native module is attached, the artifact's module.c is its
+    # exact compiled source, so the recorded source hash verifies the
+    # prebuilt .so on reload
+    (path / C_SOURCE).write_text(native.source if native is not None
+                                 else (module.c_source or ""))
+    if native is not None:
+        shutil.copyfile(native.so_path, path / NATIVE_SO)
+        (path / NATIVE_META).write_text(json.dumps({
+            "source_hash": native.source_hash,
+            "cc": os.path.basename(str(native.cc)),
+            "flags": list(native.flags),
+            "signatures": signatures_to_json(native.signatures),
+        }, indent=2))
+    else:
+        for stale in (NATIVE_SO, NATIVE_META):
+            # re-used directory: a stale native library from a previous
+            # save must not be attributed to this Python-target model
+            if (path / stale).exists():
+                (path / stale).unlink()
     np.savez(path / PARAMS, **model.params)
     return path
 
@@ -121,7 +156,11 @@ class DeployedModel(RunnableModel):
 
     def __init__(self, module: ILModule, linearizer: Linearizer,
                  params: Dict[str, np.ndarray],
-                 options: Optional[CompileOptions] = None):
+                 options: Optional[CompileOptions] = None, *,
+                 native_source: Optional[str] = None,
+                 native_signatures: Optional[
+                     Dict[str, KernelSignature]] = None,
+                 native_so: Optional[Path] = None):
         self.module = module
         self.linearizer = linearizer
         self.params = dict(params)
@@ -130,6 +169,14 @@ class DeployedModel(RunnableModel):
         self.options = options
         self.compiled = CompiledModule(module)
         self.lowered = Lowered(module=module, linearizer=linearizer)
+        if native_source is not None and native_signatures is not None:
+            # reloaded modules carry no operator nests, so the launchers
+            # are rebuilt from the serialized signatures: the prebuilt
+            # .so when its source hash matched, a recompile of module.c
+            # otherwise, and a NativeFallbackWarning + Python kernels
+            # when no compiler is available
+            attach_native(self.compiled, source=native_source,
+                          signatures=native_signatures, so_path=native_so)
         self.plan = get_host_plan(self.lowered, self.compiled)
         self.arena = WorkspaceArena()
         self._init_runtime()
@@ -188,4 +235,19 @@ def load_model(path: Union[str, Path]) -> DeployedModel:
     if options_name and (path / options_name).exists():
         payload = json.loads((path / options_name).read_text())
         options = CompileOptions.from_dict(payload["options"])
-    return DeployedModel(module, linearizer, params, options=options)
+
+    native_kw: Dict[str, object] = {}
+    if (path / NATIVE_META).exists():
+        meta = json.loads((path / NATIVE_META).read_text())
+        c_text = module.c_source or ""
+        prebuilt = path / NATIVE_SO
+        # trust the baked .so only if module.c still hashes to the source
+        # it was compiled from; otherwise recompile from the source text
+        so = (prebuilt if prebuilt.exists()
+              and source_hash(c_text) == meta["source_hash"] else None)
+        native_kw = dict(
+            native_source=c_text,
+            native_signatures=signatures_from_json(meta["signatures"]),
+            native_so=so)
+    return DeployedModel(module, linearizer, params, options=options,
+                         **native_kw)

@@ -50,6 +50,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="hidden size (default: the model's hs)")
     p.add_argument("--batch", type=int, default=10)
     p.add_argument("--device", default="gpu", choices=["gpu", "intel", "arm"])
+    p.add_argument("--target", default="python", choices=["python", "c"],
+                   help="execution target: vectorized NumPy kernels "
+                        "(default) or the JIT-compiled native .so backend")
 
 
 #: short name -> source file of models registered via --model-file, so a
@@ -196,12 +199,13 @@ def cmd_models(args) -> int:
 def _compile(args, options=None, spec=None, **extra):
     spec = spec if spec is not None else _resolve_cli_model(args)
     hidden = args.hidden or spec.hs
+    target = getattr(args, "target", "python")
     # the registry drops `vocab` for models that never embed (dagrnn)
     if options is not None:
-        return compile_api(spec, options, hidden=hidden,
-                           vocab=BENCH_VOCAB), hidden
+        return compile_api(spec, options.with_(target=target),
+                           hidden=hidden, vocab=BENCH_VOCAB), hidden
     return compile_model(spec, hidden=hidden, vocab=BENCH_VOCAB,
-                         **extra), hidden
+                         target=target, **extra), hidden
 
 
 def cmd_compile(args) -> int:
@@ -220,6 +224,14 @@ def cmd_compile(args) -> int:
         stages = ", ".join(f"{r.stage} {r.wall_time_s * 1e3:.1f}ms"
                            for r in model.report.stages)
         print(f"  stages: {stages}")
+    if getattr(args, "target", "python") == "c":
+        native = getattr(model.compiled, "native", None)
+        if native is not None:
+            print(f"  native: {native.cc} [{' '.join(native.flags)}]")
+            print(f"  native .so cache: {native.so_path}")
+        else:
+            print("  native: unavailable — fell back to the fast Python "
+                  "target (see NativeFallbackWarning)")
     print(f"  kernels: {[(k.name, k.kind) for k in mod.kernels]}")
     print(f"  barriers/level: {mod.meta['barriers_per_level']}")
     checks = sum(r.checked for r in model.lowered.bounds.values())
@@ -296,13 +308,15 @@ def cmd_export(args) -> int:
 def _serve_synthetic(args, *, tracer=None, profiler=None):
     """Compile (traced when a tracer rides along) and serve a synthetic
     stream; returns the drained server, its observability surfaces intact."""
+    from ..options import CompileOptions
     from ..pipeline import CompilerPipeline
     from ..serve import Deadline, MaxPendingRequests
 
     spec = _resolve_cli_model(args)
     hidden = args.hidden or spec.hs
+    opts = CompileOptions(target=getattr(args, "target", "python"))
     model = CompilerPipeline(tracer=tracer).compile(
-        spec, hidden=hidden, vocab=BENCH_VOCAB)
+        spec, opts, hidden=hidden, vocab=BENCH_VOCAB)
     roots = paper_inputs(args.model, args.requests, seed=args.seed,
                          kind=spec.kind)
     policy = MaxPendingRequests(16) | Deadline(5.0)

@@ -22,7 +22,10 @@ def test_compile_model_returns_cortex_model():
     assert isinstance(m, CortexModel)
     assert m.outputs == ["rnn"]
     assert "def k_fused" in m.python_source
-    assert "__global__" in m.c_source
+    # the C source is the native (executable) rendering: a self-contained
+    # translation unit with the uniform kernel-launch ABI
+    assert "void k_fused(" in m.c_source
+    assert "#include <math.h>" in m.c_source
 
 
 def test_compile_model_unknown_name():

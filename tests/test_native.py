@@ -1,0 +1,417 @@
+"""Tests for the native (C -> ``.so``) backend.
+
+Covers the whole promotion of the C renderer to an execution target:
+float-constant rendering, dtype -> ctype marshalling, launch-time
+zero-copy validation (wrong dtype / non-contiguous views raise
+``NativeError``), the ``.so`` build cache, the ``target="c"`` pipeline
+stage, model- and kernel-level parity against the Python kernels
+(bitwise where :func:`parity_classification` promises it, tolerance
+where libm/BLAS reassociation differs), the no-compiler fallback,
+profiler labeling, artifact round-trips and serving.
+
+Golden snapshots of the generated C source live in ``tests/golden/``;
+regenerate with ``REPRO_REGEN_GOLDEN=1``.
+"""
+
+import ctypes
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import grid_dag_batch, synthetic_treebank
+from repro.errors import NativeError, NativeFallbackWarning, ScheduleError
+from repro.ilir.codegen.c_codegen import (c_float_literal, generate_c_module,
+                                          parity_classification,
+                                          signatures_from_json,
+                                          signatures_to_json)
+from repro.options import CompileOptions
+from repro.pipeline import STAGES, CompilerPipeline
+from repro.runtime.native import (DTYPE_TO_CTYPE, build_shared_library,
+                                  ctype_for, find_compiler, native_available)
+from repro.runtime.plan import execute_plan
+from repro.runtime.profiler import KernelProfiler
+
+VOCAB = 50
+HIDDEN = 16
+
+needs_cc = pytest.mark.skipif(not native_available(),
+                              reason="no C compiler on the host")
+
+ZOO = ("treelstm", "treegru", "treernn", "dagrnn")
+
+#: schedule variants the parity suite runs under: the fused headline
+#: configuration and the one-kernel-per-operator ablation
+PRESETS = {
+    "paper_headline": {},
+    "unfused_ablation": dict(fusion="none", persistence=False,
+                             dense_intermediates=False),
+}
+
+
+def _compile(name, target, hidden=HIDDEN, **knobs):
+    opts = CompileOptions(target=target, **knobs)
+    return CompilerPipeline().compile(name, opts, hidden=hidden, vocab=VOCAB,
+                                      rng=np.random.default_rng(0))
+
+
+def _inputs(name, n=3, seed=7):
+    if name == "dagrnn":
+        return grid_dag_batch(n, 5, 5)
+    return synthetic_treebank(n, vocab_size=VOCAB,
+                              rng=np.random.default_rng(seed))
+
+
+def _launch(fn, kind, ws, c, begins, lengths):
+    """Launch one kernel over its real execution windows.
+
+    Mirrors ``execute_plan`` exactly: leaf kernels only run on the leaf
+    batches and level kernels only on the internal ones — outside those
+    windows the batch arrays hold sentinels (``words[n] == -1``) that
+    Python would silently wrap and C would read out of bounds.
+    """
+    if kind == "leaf":
+        for lb in range(c["leaf_batch_count"]):
+            fn(ws, c, begins[lb], lengths[lb])
+    elif kind == "level":
+        for b in range(c["level_start"], c["num_batches"]):
+            fn(ws, c, begins[b], lengths[b])
+    else:
+        fn(ws, c)
+
+
+# -- float constant rendering (the expr_to_c suffix fix) -----------------------
+
+def test_c_float_literal_suffix_by_dtype():
+    assert c_float_literal(1.0) == "1.0f"
+    assert c_float_literal(-2.5, "float32") == "-2.5f"
+    # float64 constants must NOT carry the f suffix: `1.0f` would demote
+    # a double expression to single precision
+    assert c_float_literal(1.0, "float64") == "1.0"
+    assert c_float_literal(0.5, "float64") == "0.5"
+    lit = c_float_literal(1e-06, "float64")
+    assert not lit.endswith("f") and float(lit) == 1e-06
+
+
+def test_c_float_literal_f32_rounds_through_float32():
+    lit = c_float_literal(1e-06, "float32")
+    assert lit.endswith("f")
+    assert np.float32(float(lit[:-1])) == np.float32(1e-06)
+
+
+def test_c_float_literal_nonfinite():
+    assert c_float_literal(float("nan")) == "NAN"
+    assert c_float_literal(float("inf"), "float64") == "INFINITY"
+    assert c_float_literal(float("-inf")) == "(-INFINITY)"
+
+
+# -- marshalling table ---------------------------------------------------------
+
+def test_dtype_to_ctype_table():
+    assert ctype_for("float32") is ctypes.c_float
+    assert ctype_for(np.float64) is ctypes.c_double
+    assert ctype_for("int32") is ctypes.c_int32
+    assert ctype_for("int64") is ctypes.c_int64
+    assert ctype_for(np.bool_) is ctypes.c_uint8
+    assert len(DTYPE_TO_CTYPE) == 5
+
+
+def test_unsupported_dtype_raises_typed():
+    with pytest.raises(NativeError, match="float16"):
+        ctype_for(np.float16)
+
+
+# -- options / pipeline wiring -------------------------------------------------
+
+def test_options_target_validated_eagerly():
+    with pytest.raises(ScheduleError, match="target"):
+        CompileOptions(target="rust")
+
+
+def test_options_target_in_cache_key_and_summary():
+    py = CompileOptions()
+    c = CompileOptions(target="c")
+    assert py.cache_key() != c.cache_key()
+    assert "target=c" in c.summary()
+    assert "target" not in py.summary()
+    assert CompileOptions.from_dict(c.to_dict()) == c
+
+
+def test_pipeline_records_native_stage():
+    c_model = _compile("treernn", "c")
+    assert [r.stage for r in c_model.report.stages] == \
+        ["build", "schedule", "lower", "codegen", "native", "plan"]
+    py_model = _compile("treernn", "python")
+    assert [r.stage for r in py_model.report.stages] == list(STAGES)
+
+
+# -- the build cache -----------------------------------------------------------
+
+@needs_cc
+def test_so_cache_hit_and_miss(tmp_path):
+    cc = find_compiler()
+    source = "int repro_cache_probe(void) { return 42; }\n"
+    p1 = build_shared_library(source, cc=cc, cache_dir=tmp_path)
+    stamp = p1.stat().st_mtime_ns
+    p2 = build_shared_library(source, cc=cc, cache_dir=tmp_path)
+    assert p2 == p1 and p2.stat().st_mtime_ns == stamp  # no recompile
+    p3 = build_shared_library(source + "/* v2 */\n", cc=cc,
+                              cache_dir=tmp_path)
+    assert p3 != p1  # any source change keys a fresh directory
+
+
+@needs_cc
+def test_compile_failure_raises_with_stderr(tmp_path):
+    with pytest.raises(NativeError, match="C compilation failed"):
+        build_shared_library("this is not C\n", cc=find_compiler(),
+                             cache_dir=tmp_path)
+
+
+# -- zero-copy launch validation ----------------------------------------------
+
+@needs_cc
+def test_wrong_dtype_and_noncontiguous_launches_refused():
+    model = _compile("treelstm", "c")
+    native = model.compiled.native
+    assert native is not None
+    lin = model._linearize(_inputs("treelstm"), True)
+    c = model.plan.bind_scalars(lin)
+    ws, _ = model.plan.make_workspace(lin, model.params)
+    fn = next(iter(native.fns.values()))
+    # first float32 buffer of the kernel's ABI
+    buf = next(n for n, dt, _w in fn.signature.arrays if dt == "float32")
+
+    bad = dict(ws)
+    bad[buf] = ws[buf].astype(np.float64)
+    with pytest.raises(NativeError, match="dtype"):
+        _launch(fn, fn.kind, bad, c, [], [])
+
+    arr = ws[buf]
+    wide = np.zeros(arr.shape[:-1] + (arr.shape[-1] * 2,), arr.dtype)
+    bad[buf] = wide[..., ::2]  # same shape/dtype, strided view
+    assert not bad[buf].flags.c_contiguous
+    with pytest.raises(NativeError, match="contiguous"):
+        _launch(fn, fn.kind, bad, c, [], [])
+
+    del bad[buf]
+    with pytest.raises(NativeError, match="missing buffer"):
+        _launch(fn, fn.kind, bad, c, [], [])
+
+
+# -- parity: model level -------------------------------------------------------
+
+@needs_cc
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+@pytest.mark.parametrize("name", ZOO)
+def test_model_level_parity(name, preset):
+    py = _compile(name, "python", **PRESETS[preset])
+    nat = _compile(name, "c", **PRESETS[preset])
+    assert nat.compiled.native is not None
+    for roots in _inputs(name):
+        a = py.run(roots)
+        b = nat.run(roots)
+        for out in py.outputs:
+            np.testing.assert_allclose(a.root_output(out),
+                                       b.root_output(out),
+                                       rtol=1e-5, atol=1e-6)
+
+
+# -- parity: kernel level ------------------------------------------------------
+
+@needs_cc
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+@pytest.mark.parametrize("name", ZOO)
+def test_kernel_level_parity(name, preset):
+    """Each kernel, launched on identical workspaces over its real
+    windows: bitwise-classified kernels must agree to the byte, the rest
+    (transcendentals, BLAS-reassociated einsums) to tolerance.  The
+    Python workspace is the reference state carried between kernels, so
+    every pair sees identical inputs."""
+    model = _compile(name, "c", **PRESETS[preset])
+    native = model.compiled.native
+    assert native is not None
+    lin = model._linearize(_inputs(name), True)
+    c = model.plan.bind_scalars(lin)
+    ws, _ = model.plan.make_workspace(lin, model.params)
+    begins = lin.batch_begin.tolist()
+    lengths = lin.batch_length.tolist()
+    classes = parity_classification(model.lowered.module)
+    py_fns = dict(model.compiled.launch_fns)
+    checked_bitwise = 0
+    for k in model.lowered.module.kernels:
+        ws_nat = {n: a.copy() for n, a in ws.items()}
+        _launch(py_fns[k.name], k.kind, ws, c, begins, lengths)
+        _launch(native.fns[k.name], k.kind, ws_nat, c, begins, lengths)
+        if classes[k.name]["bitwise"]:
+            checked_bitwise += 1
+            for n in ws:
+                assert np.array_equal(ws[n], ws_nat[n]), (k.name, n)
+        else:
+            for n in ws:
+                np.testing.assert_allclose(
+                    ws[n], ws_nat[n], rtol=1e-5, atol=1e-6,
+                    err_msg=f"{k.name}/{n}: {classes[k.name]['reasons']}")
+    if preset == "unfused_ablation":
+        # the classification must not be vacuous: the unfused zoo has
+        # genuinely bitwise kernels (gathers, masked child-sums, relu)
+        assert checked_bitwise > 0
+
+
+def test_parity_classification_reports_reasons():
+    model = _compile("treelstm", "python")
+    classes = parity_classification(model.lowered.module)
+    assert set(classes) == {k.name for k in model.lowered.module.kernels}
+    tol = [c for c in classes.values() if not c["bitwise"]]
+    assert tol and all(c["reasons"] for c in tol)
+
+
+# -- fallback ------------------------------------------------------------------
+
+def test_no_cc_falls_back_to_python_target(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CC", "1")
+    assert not native_available()
+    with pytest.warns(NativeFallbackWarning, match="falling back"):
+        model = _compile("treernn", "c")
+    assert getattr(model.compiled, "native", None) is None
+    # the native stage still records (with nothing attached)
+    assert "native" in [r.stage for r in model.report.stages]
+    py = _compile("treernn", "python")
+    roots = _inputs("treernn")[0]
+    a = model.run(roots)
+    b = py.run(roots)
+    for out in model.outputs:
+        np.testing.assert_array_equal(a.root_output(out),
+                                      b.root_output(out))
+
+
+# -- profiler labeling ---------------------------------------------------------
+
+@needs_cc
+def test_profiler_labels_native_kernels():
+    model = _compile("treelstm", "c")
+    prof = KernelProfiler()
+    lin = model._linearize(_inputs("treelstm"), True)
+    execute_plan(model.plan, lin, model.params, profiler=prof)
+    snap = prof.snapshot()
+    assert snap["kernels"]
+    assert all(row["native"] for row in snap["kernels"].values())
+    assert prof.native_kernels == set(snap["kernels"])
+    assert prof.breakdown().framework == "Cortex (measured, native)"
+
+    py = _compile("treelstm", "python")
+    prof2 = KernelProfiler()
+    execute_plan(py.plan, py._linearize(_inputs("treelstm"), True),
+                 py.params, profiler=prof2)
+    snap2 = prof2.snapshot()
+    assert not any(row["native"] for row in snap2["kernels"].values())
+    assert prof2.breakdown().framework == "Cortex (measured)"
+
+
+# -- signatures ----------------------------------------------------------------
+
+def test_signature_json_roundtrip():
+    model = _compile("treernn", "python")
+    _source, sigs = generate_c_module(model.lowered.module)
+    data = json.loads(json.dumps(signatures_to_json(sigs)))
+    assert signatures_from_json(data) == sigs
+
+
+# -- artifacts -----------------------------------------------------------------
+
+@needs_cc
+def test_artifact_bakes_and_reloads_native(tmp_path, monkeypatch):
+    from repro.tools.artifact import (NATIVE_META, NATIVE_SO, load_model,
+                                      save_model)
+
+    model = _compile("treelstm", "c")
+    trees = _inputs("treelstm")
+    want = [dict(r.outputs) for r in model.run_many(trees)]
+    out = save_model(model, tmp_path / "art")
+    assert (out / NATIVE_SO).exists() and (out / NATIVE_META).exists()
+    meta = json.loads((out / NATIVE_META).read_text())
+    assert set(meta) == {"source_hash", "cc", "flags", "signatures"}
+
+    # 1) prebuilt load: native serving with NO compiler on the host
+    monkeypatch.setenv("REPRO_NO_CC", "1")
+    dm = load_model(out)
+    assert dm.compiled.native is not None
+    assert dm.compiled.native.cc == "(prebuilt)"
+    for a, b in zip(want, [dict(r.outputs) for r in dm.run_many(trees)]):
+        for n in a:
+            np.testing.assert_array_equal(a[n], b[n])
+
+    # 2) stale source + no compiler: typed fallback, Python kernels
+    (out / "module.c").write_text((out / "module.c").read_text()
+                                  + "\n/* tampered */\n")
+    with pytest.warns(NativeFallbackWarning):
+        dm2 = load_model(out)
+    assert getattr(dm2.compiled, "native", None) is None
+    dm2.run_many(trees)
+
+    # 3) stale source + compiler: recompiled from module.c
+    monkeypatch.delenv("REPRO_NO_CC")
+    dm3 = load_model(out)
+    assert dm3.compiled.native is not None
+    assert dm3.compiled.native.cc != "(prebuilt)"
+    for a, b in zip(want, [dict(r.outputs) for r in dm3.run_many(trees)]):
+        for n in a:
+            np.testing.assert_array_equal(a[n], b[n])
+
+
+def test_artifact_python_target_bakes_no_native(tmp_path):
+    from repro.tools.artifact import NATIVE_META, NATIVE_SO, save_model
+
+    model = _compile("treernn", "python")
+    out = save_model(model, tmp_path / "art")
+    assert not (out / NATIVE_SO).exists()
+    assert not (out / NATIVE_META).exists()
+
+
+# -- serving -------------------------------------------------------------------
+
+@needs_cc
+def test_server_over_native_target():
+    from repro.serve import MaxPendingRequests
+
+    py = _compile("treelstm", "python")
+    nat = _compile("treelstm", "c")
+    trees = _inputs("treelstm", n=6, seed=3)
+    with nat.server(policy=MaxPendingRequests(3)) as server:
+        handles = [server.submit([t]) for t in trees]
+        got = [h.result(timeout=60.0) for h in handles]
+    for t, res in zip(trees, got):
+        ref = py.run(t)
+        for out in py.outputs:
+            np.testing.assert_allclose(res.root_output(out),
+                                       ref.root_output(out),
+                                       rtol=1e-5, atol=1e-6)
+
+
+# -- golden snapshots of the generated C ---------------------------------------
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.mark.parametrize("name", ("treelstm", "dagrnn", "treegru"))
+def test_c_source_golden_snapshot(name):
+    """The generated translation unit is a deterministic function of the
+    model + schedule; drift is a conscious decision, recorded by
+    regenerating with ``REPRO_REGEN_GOLDEN=1``."""
+    model = _compile(name, "python", hidden=8)
+    src = model.lowered.module.c_source
+    assert src
+    path = GOLDEN_DIR / f"{name}_h8.c"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(src)
+    assert path.exists(), \
+        f"missing golden {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    assert src == path.read_text()
+
+
+@needs_cc
+def test_golden_source_is_what_the_jit_compiles():
+    model = _compile("treelstm", "c", hidden=8)
+    assert model.compiled.native.source == model.lowered.module.c_source
