@@ -38,11 +38,14 @@ from pathlib import Path
 import numpy as np
 
 from conftest import save_result
-from repro.bench import cortex_model, format_table, record_bench_json
+from repro.baselines import grnn_like
+from repro.bench import (baseline_latency_ms, cortex_latency_ms,
+                         cortex_model, format_table, record_bench_json)
 from repro.data import synthetic_treebank
 from repro.obs import Tracer
+from repro.runtime import V100
 from repro.runtime.memory import ArenaStats
-from repro.serve import FaultInjector, MaxPendingRequests
+from repro.serve import FaultInjector, MaxPendingRequests, WorkerPool
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -56,6 +59,9 @@ MODEL = "treelstm"
 #: injected transient kernel-fault rate for the degraded-mode column
 FAULT_RATE = 0.10
 FAULT_SEED = 0
+#: replica counts for the pool saturation sweep
+REPLICAS = (1, 2, 4)
+POOL_FLUSH = 32
 
 
 def _requests(request_size: int):
@@ -75,6 +81,166 @@ def _time_stream(fn, *, repeats: int, warmup: int) -> float:
         samples.append(time.perf_counter() - t0)
     samples.sort()
     return samples[len(samples) // 2]
+
+
+def _saturation(model):
+    """Multi-replica saturation: the whole stream offered at once.
+
+    Replica scaling is reported on the *simulated device* axis (V100
+    cost-model per-flush times, makespan = the busiest replica's total),
+    because the harness runs on however many host cores CI gives it —
+    often one — where wall-clock cannot show device parallelism.  Wall
+    time is recorded alongside, honestly labeled: on a single core it
+    mostly measures GIL-serialized host work and should be flat-ish
+    across replica counts.
+    """
+    requests = _requests(1)
+    out = {}
+    for n in REPLICAS:
+        model.arena.stats = ArenaStats()
+        attribution = {}
+        pool = WorkerPool(model, replicas=n, balancer="round_robin",
+                          policy=MaxPendingRequests(POOL_FLUSH),
+                          pipeline="double", device=V100)
+        for rep in pool.replicas:
+            rep.server.add_observer(
+                lambda req, exc, name=rep.name:
+                attribution.__setitem__(id(req.handle), name))
+        t0 = time.perf_counter()
+        with pool:
+            handles = [pool.submit(r) for r in requests]
+            pool.drain()
+            results = [h.result(120) for h in handles]
+        wall_s = time.perf_counter() - t0
+        # per-replica simulated busy time: each of a flush's B requests
+        # carries the flush's simulated time, so summing sim/B over
+        # requests reconstructs the exact per-flush sum
+        busy = {}
+        for h, res in zip(handles, results):
+            rep = attribution[id(h)]
+            busy[rep] = busy.get(rep, 0.0) + (res.simulated_time_s
+                                              / res.batch_requests)
+        makespan_s = max(busy.values())
+        snap = pool.metrics_snapshot()
+        out[n] = {
+            "replicas": n,
+            "offered_requests": len(requests),
+            "sim_device_makespan_s": makespan_s,
+            "sim_throughput_rps": len(requests) / makespan_s,
+            "wall_s": wall_s,
+            "wall_throughput_rps": len(requests) / wall_s,
+            "wall_latency_p99_ms": snap["latency_p99_ms"],
+            "wall_latency_p50_ms": snap["latency_p50_ms"],
+            "occupancy_requests": snap["batch_occupancy_requests"],
+            "flushes": snap["flushes"],
+        }
+    return out
+
+
+def _flush_phase_times(model):
+    """Measured per-flush (form, execute) second pairs from one traced
+    sequential pass over the stream (form = coalesce span; execute =
+    everything after it in the flush span)."""
+    tracer = Tracer()
+    srv = model.server(policy=MaxPendingRequests(POOL_FLUSH),
+                       tracer=tracer)
+    srv.serve_forever(_requests(1))
+    children = {}
+    for s in tracer.finished_spans():
+        children.setdefault(s.parent_id, []).append(s)
+    phases = []
+    for s in tracer.finished_spans():
+        if s.name != "flush":
+            continue
+        form = exec_s = 0.0
+        for c in children.get(s.span_id, []):
+            d = (c.end_t or c.start_t) - c.start_t
+            if c.name == "coalesce":
+                form += d
+            else:
+                exec_s += d
+        phases.append((form, exec_s))
+    return phases
+
+
+def _pipeline_p99_model(model):
+    """Modeled p99 at fixed offered load: sequential vs pipelined flush.
+
+    A deterministic replay over the measured per-flush (form, execute)
+    times: requests arrive in order at a fixed rate, flushes close at
+    ``POOL_FLUSH`` requests.  The sequential server serializes
+    form+execute per flush on one thread; continuous batching forms
+    flush k+1 while k executes (depth-1 handoff), so the steady-state
+    flush interval drops from ``form+exec`` to ``max(form, exec)``.
+    The offered load is 95% of *pipelined* capacity — sustainable with
+    the overlap, over sequential capacity without it — which is exactly
+    the load band continuous batching exists for.  Modeled, not
+    measured: on a 1-core host the two threads cannot actually overlap,
+    but the model uses only measured single-thread phase times.
+    """
+    phases = _flush_phase_times(model)
+    n = NUM_REQUESTS
+    pipelined_capacity = n / sum(max(f, e) for f, e in phases)
+    rate = pipelined_capacity * 0.95
+    arrivals = [i / rate for i in range(n)]
+
+    def replay(pipelined):
+        lat = []
+        form_free = 0.0                          # former availability
+        exec_free = 0.0                          # executor availability
+        for j, (form, exec_s) in enumerate(phases):
+            members = range(j * POOL_FLUSH,
+                            min((j + 1) * POOL_FLUSH, n))
+            ready = arrivals[members[-1]]
+            if pipelined:
+                form_done = max(ready, form_free) + form
+                form_free = form_done
+                done = max(form_done, exec_free) + exec_s
+                exec_free = done
+            else:
+                done = max(ready, exec_free) + form + exec_s
+                exec_free = done
+            lat += [done - arrivals[i] for i in members]
+        return float(np.percentile(np.asarray(lat), 99)) * 1e3
+
+    seq_p99 = replay(pipelined=False)
+    pipe_p99 = replay(pipelined=True)
+    return {
+        "offered_rate_rps": rate,
+        "modeled": True,
+        "flushes_measured": len(phases),
+        "sequential_p99_ms": seq_p99,
+        "pipelined_p99_ms": pipe_p99,
+        "p99_improvement": 1.0 - pipe_p99 / seq_p99,
+    }
+
+
+def _baseline_rows():
+    """Simulated-device serving throughput vs the paper's §2 baselines.
+
+    Cavs batches treelstm like our coalescer does (Table 4's regime);
+    GRNN is the hand-optimized sequential-RNN server (Fig. 9's regime,
+    seq len 100).  Throughput = batch / simulated batch latency on one
+    V100 — comparable to the 1-replica ``sim_throughput_rps`` axis.
+    """
+    rows = {}
+    cavs_ms, _ = baseline_latency_ms("cavs", MODEL, HIDDEN, POOL_FLUSH,
+                                     V100)
+    cortex_ms, _ = cortex_latency_ms(MODEL, HIDDEN, POOL_FLUSH, V100)
+    rows["cavs_treelstm_b32"] = {
+        "baseline_ms": cavs_ms, "cortex_ms": cortex_ms,
+        "baseline_throughput_rps": POOL_FLUSH / (cavs_ms / 1e3),
+        "cortex_throughput_rps": POOL_FLUSH / (cortex_ms / 1e3),
+    }
+    grnn_ms = grnn_like.latency("lstm", 100, 10, HIDDEN, V100,
+                                lock_free=True).total_time_s * 1e3
+    seq_ms, _ = cortex_latency_ms("seq_lstm", HIDDEN, 10, V100)
+    rows["grnn_seqlstm_b10"] = {
+        "baseline_ms": grnn_ms, "cortex_ms": seq_ms,
+        "baseline_throughput_rps": 10 / (grnn_ms / 1e3),
+        "cortex_throughput_rps": 10 / (seq_ms / 1e3),
+    }
+    return rows
 
 
 def _run():
@@ -174,6 +340,9 @@ def _run():
         entry["traced_latency_p99_ms"] = snap["latency_p99_ms"]
         rows.append(row)
         results[f"{MODEL}_rs{rs}"] = entry
+    results["saturation"] = _saturation(model)
+    results["continuous_batching"] = _pipeline_p99_model(model)
+    results["baselines"] = _baseline_rows()
     return rows, results
 
 
@@ -192,11 +361,36 @@ def test_serve_throughput(benchmark):
               f"{FAULT_RATE:.0%} injected transient kernel faults; traced "
               f"= flush {max(FLUSH_SIZES)} with a live span recorder)")
     save_result("serve_throughput", table)
+
+    sat = results["saturation"]
+    sat_rows = [[n, round(s["sim_throughput_rps"], 1),
+                 round(s["sim_throughput_rps"]
+                       / sat[1]["sim_throughput_rps"], 2),
+                 round(s["wall_throughput_rps"], 1),
+                 round(s["wall_latency_p99_ms"], 2),
+                 round(s["occupancy_requests"], 1)]
+                for n, s in sorted(sat.items())]
+    cb = results["continuous_batching"]
+    sat_table = format_table(
+        ["Replicas", "sim rps", "sim x", "wall rps", "wall p99 (ms)",
+         "occupancy"],
+        sat_rows,
+        title=f"Pool saturation, {NUM_REQUESTS}-request stream, flush "
+              f"{POOL_FLUSH}, pipeline=double (sim = V100 cost-model "
+              f"makespan; wall = host, GIL-bound).  Continuous batching "
+              f"modeled p99 at 95% of pipelined capacity: sequential "
+              f"{cb['sequential_p99_ms']:.2f} ms -> pipelined "
+              f"{cb['pipelined_p99_ms']:.2f} ms "
+              f"({cb['p99_improvement']:.0%} better)")
+    save_result("serve_pool_saturation", sat_table)
+
     record_bench_json(JSON_PATH, {
         "benchmark": "serve_throughput",
         "hidden": HIDDEN,
         "model": MODEL,
         "flush_sizes": list(FLUSH_SIZES),
+        "replicas": list(REPLICAS),
+        "pool_flush": POOL_FLUSH,
         "fault_rate": FAULT_RATE,
         "fault_seed": FAULT_SEED,
         "results": results,
@@ -212,3 +406,12 @@ def test_serve_throughput(benchmark):
     # Span recording must not eat the coalescing win: the traced server
     # holds the same >= 2x gate the untraced one does.
     assert results[f"{MODEL}_rs1"]["traced_speedup"] >= 2.0, results
+    # Replica scaling gate: >= 2x aggregate simulated-device throughput
+    # at 4 replicas vs 1 at saturation.
+    sat = results["saturation"]
+    assert (sat[4]["sim_throughput_rps"]
+            >= 2.0 * sat[1]["sim_throughput_rps"]), sat
+    assert sat[2]["sim_throughput_rps"] > sat[1]["sim_throughput_rps"], sat
+    # Continuous batching must improve modeled p99 at fixed offered load.
+    cb = results["continuous_batching"]
+    assert cb["pipelined_p99_ms"] < cb["sequential_p99_ms"], cb

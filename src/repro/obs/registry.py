@@ -204,6 +204,17 @@ class Histogram:
         with self._lock:
             return len(self._window) if self._window is not None else 0
 
+    def window_values(self) -> List[float]:
+        """The raw sliding-window samples (a copy; empty when disabled).
+
+        Lets an aggregator (e.g. a replica pool) pool several
+        instruments' recent samples and compute *exact* percentiles over
+        the union, instead of averaging percentiles — which is not a
+        percentile of anything.
+        """
+        with self._lock:
+            return list(self._window) if self._window is not None else []
+
 
 class MetricFamily:
     """One named metric; labeled children created via :meth:`labels`.
@@ -237,6 +248,30 @@ class MetricFamily:
                 child = self._factory()
                 self._children[key] = child
             return child
+
+    def callback(self, fn: Callable[[], float], **labels: str) -> object:
+        """Register a pull-mode (callback) gauge child at a label set.
+
+        Unlabeled callback gauges are declared through
+        :meth:`MetricsRegistry.gauge` with ``fn=``; *labeled* callback
+        children — one pull function per label value, e.g. a per-replica
+        queue-depth gauge — register here.  Re-registering the same
+        label set replaces the callback (a replica replacement rebinds
+        its gauges).
+        """
+        if self.kind != "gauge":
+            raise MetricError(
+                f"metric {self.name!r} is a {self.kind}; only gauge "
+                f"families take callback children")
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}")
+        key = tuple(str(labels[k]) for k in self.labelnames)
+        child = Gauge(fn)
+        with self._lock:
+            self._children[key] = child
+        return child
 
     def samples(self) -> List[Tuple[Dict[str, str], object]]:
         """(labels dict, child instrument) pairs for the collectors."""

@@ -21,7 +21,7 @@ recent traffic at O(window) memory.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..obs import Clock, MetricsRegistry
 from ..runtime.memory import WorkspaceArena
@@ -96,10 +96,23 @@ class ServerMetrics:
             "wall time of each successful flush execution", window=window)
         r.gauge("serve_uptime_seconds", "seconds since server start",
                 fn=lambda: self._clock() - self._t0)
+        #: per-tenant fair-share accounting — labeled families beside the
+        #: unlabeled aggregates above, so the pinned snapshot keys stay
+        #: untouched while the Prometheus export grows a ``tenant`` label
+        self._tenant_submitted = r.counter(
+            "serve_tenant_requests_submitted_total",
+            "requests accepted by submit(), by tenant", ["tenant"])
+        self._tenant_completed = r.counter(
+            "serve_tenant_requests_completed_total",
+            "requests resolved with a result, by tenant", ["tenant"])
+        self._tenants: Dict[str, bool] = {}
 
     # -- recording (server side) -------------------------------------------
-    def note_submit(self) -> None:
+    def note_submit(self, tenant: Optional[str] = None) -> None:
         self._submitted.inc()
+        if tenant is not None:
+            self._tenants[tenant] = True
+            self._tenant_submitted.labels(tenant=tenant).inc()
 
     def note_reject(self) -> None:
         self._rejected.inc()
@@ -130,8 +143,8 @@ class ServerMetrics:
         self._failed.inc(n)
 
     def note_flush(self, num_requests: int, num_nodes: int, exec_s: float,
-                   latencies: Sequence[float], *, failed: bool = False
-                   ) -> None:
+                   latencies: Sequence[float], *, failed: bool = False,
+                   tenants: Optional[Sequence[str]] = None) -> None:
         self._flushes.inc()
         if failed:
             self._failed.inc(num_requests)
@@ -142,6 +155,40 @@ class ServerMetrics:
             self._occ_nodes.observe(num_nodes)
             self._flush_exec.observe(exec_s)
             self._latency.observe_many(latencies)
+            if tenants:
+                counts: Dict[str, int] = {}
+                for t in tenants:
+                    counts[t] = counts.get(t, 0) + 1
+                for t, n in counts.items():
+                    self._tenants[t] = True
+                    self._tenant_completed.labels(tenant=t).inc(n)
+
+    # -- per-tenant views ----------------------------------------------------
+    def tenants(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant submitted/completed counts (tenants seen so far)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for t in sorted(self._tenants):
+            out[t] = {
+                "submitted": int(
+                    self._tenant_submitted.labels(tenant=t).value),
+                "completed": int(
+                    self._tenant_completed.labels(tenant=t).value),
+            }
+        return out
+
+    # -- raw sliding windows (pool aggregation) ------------------------------
+    # A pool must not average replicas' percentiles (a mean of p99s is
+    # not a p99 of anything); these hand the aggregator the raw recent
+    # samples so it can take exact percentiles over the union.
+    def latency_window(self) -> List[float]:
+        return self._latency.window_values()
+
+    def flush_exec_window(self) -> List[float]:
+        return self._flush_exec.window_values()
+
+    def occupancy_windows(self) -> Dict[str, List[float]]:
+        return {"requests": self._occ_requests.window_values(),
+                "nodes": self._occ_nodes.window_values()}
 
     # -- counter views (legacy attribute access) ----------------------------
     @property

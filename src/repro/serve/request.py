@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -67,6 +67,40 @@ class RequestHandle:
         self._exception: Optional[BaseException] = None
         self._cancelled = False
         self._claimed = False
+        self._callbacks: List[Callable[["RequestHandle"], None]] = []
+
+    # -- completion callbacks (asyncio bridge) ------------------------------
+    def add_done_callback(self, fn: Callable[["RequestHandle"], None]
+                          ) -> None:
+        """Run ``fn(handle)`` exactly once when the handle resolves.
+
+        Registered before resolution, the callback fires on whichever
+        thread wins the resolution (server worker, canceller, expiry
+        sweep); registered after, it fires immediately on the caller's
+        thread.  Callbacks run outside the handle's lock — they may read
+        :meth:`exception` / :meth:`result` freely — and a raising
+        callback is swallowed (it must not take down the flush loop).
+        This is the hook the asyncio bridge uses to complete loop-side
+        futures via ``call_soon_threadsafe``.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        self._run_callback(fn)
+
+    def _run_callback(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # pragma: no cover - callback bugs
+            pass
+
+    def _drain_callbacks(self) -> None:
+        """Fire pending callbacks after resolution (outside the lock)."""
+        with self._lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._run_callback(fn)
 
     # -- completion (server side) -----------------------------------------
     def set_result(self, result: RequestResult) -> bool:
@@ -76,7 +110,8 @@ class RequestHandle:
                 return False
             self._result = result
             self._event.set()
-            return True
+        self._drain_callbacks()
+        return True
 
     def set_exception(self, exc: BaseException) -> bool:
         """Resolve with a failure; ``False`` when already resolved."""
@@ -85,7 +120,8 @@ class RequestHandle:
                 return False
             self._exception = exc
             self._event.set()
-            return True
+        self._drain_callbacks()
+        return True
 
     def claim(self) -> bool:
         """Mark execution as started (server side).
@@ -116,7 +152,8 @@ class RequestHandle:
             self._exception = RequestCancelledError(
                 f"request {self.request_id} cancelled")
             self._event.set()
-            return True
+        self._drain_callbacks()
+        return True
 
     @property
     def cancelled(self) -> bool:
@@ -177,6 +214,10 @@ class Request:
     priority: int = 0
     #: execution attempts so far (bounded by the server's retry policy)
     attempts: int = 0
+    #: fair-share accounting class — requests from different tenants are
+    #: interleaved by the scheduler's fair-share take so one chatty
+    #: tenant cannot monopolize a flush
+    tenant: str = "default"
     #: created in ``__post_init__`` when not supplied
     handle: Optional[RequestHandle] = field(repr=False, default=None)
     #: trace id minted at ``submit()`` when the server carries a

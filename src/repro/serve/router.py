@@ -338,6 +338,43 @@ class Router:
         return self.add_model(name, _private_arena_view(compiled),
                               **server_kw)
 
+    def add_pool(self, name: str, pool, **pool_kw):
+        """Register a :class:`~repro.serve.pool.WorkerPool` (or build one).
+
+        ``pool`` is either a ready pool or a model handle, in which case
+        a pool named ``name`` is built over it with ``pool_kw``
+        (``replicas=4``, ``balancer=...``, ``pipeline="double"``, ...).
+        Pools dispatch through the same :meth:`submit` / :meth:`flush` /
+        lifecycle surface as single servers; per-replica circuit
+        breaking lives *inside* the pool, so the router adds no breaker
+        of its own.
+        """
+        from .pool import WorkerPool
+
+        if name in self._servers:
+            raise KeyError(f"model {name!r} already registered")
+        if not isinstance(pool, WorkerPool):
+            pool = WorkerPool(pool, name=name, **pool_kw)
+        elif pool_kw:
+            raise TypeError("pool_kw only applies when registering a "
+                            "model, not a ready WorkerPool")
+        self._servers[name] = pool
+        return pool
+
+    def deploy_pool(self, name: str, model: Union[str, "ModelSpec"],
+                    options: Optional["CompileOptions"] = None, *,
+                    replicas: int = 2, hidden: Optional[int] = None,
+                    vocab: int = 1000, build_kw: Optional[dict] = None,
+                    **pool_kw):
+        """Compile (through the router's session cache) and pool-register.
+
+        The pool analogue of :meth:`deploy`: one compilation, N
+        private-arena replicas behind load balancing.
+        """
+        compiled = self.session.compile(model, options, hidden=hidden,
+                                        vocab=vocab, **(build_kw or {}))
+        return self.add_pool(name, compiled, replicas=replicas, **pool_kw)
+
     def remove_model(self, name: str) -> None:
         """Unregister a model, serving whatever is still queued first.
 

@@ -28,7 +28,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from ..errors import ServingError
 from .request import Request
@@ -182,11 +182,15 @@ class Scheduler:
 
     def __init__(self, policy: Optional[FlushPolicy] = None,
                  max_queue: int = 1024, *,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 fair_share: bool = False):
         if max_queue < 1:
             raise ServingError("max_queue must be >= 1")
         self.policy = policy if policy is not None else default_policy()
         self.max_queue = max_queue
+        #: interleave flush batches round-robin across tenants (per-tenant
+        #: FIFO preserved) so one chatty tenant cannot monopolize a flush
+        self.fair_share = bool(fair_share)
         #: time source for deadline expiry and queue-age snapshots when
         #: the caller passes no explicit ``now`` (an :class:`~repro.obs
         #: .Clock`; the server injects its own so one FakeClock drives
@@ -197,6 +201,10 @@ class Scheduler:
         #: any queued request carrying a deadline?  Keeps the expiry
         #: sweep O(1) for deadline-free traffic.
         self._deadlines = 0
+        #: queued requests per tenant (keys vanish at zero) and lifetime
+        #: admitted counts per tenant (monotone; fair-share accounting)
+        self._tenant_queued: Dict[str, int] = {}
+        self._tenant_admitted: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -206,6 +214,25 @@ class Scheduler:
     def pending_nodes(self) -> int:
         """Queued structure nodes; 0 unless the policy tracks node counts."""
         return self._nodes
+
+    # -- tenant accounting -------------------------------------------------
+    def tenant_depths(self) -> Dict[str, int]:
+        """Queued request count per tenant (only tenants with depth > 0)."""
+        with self._lock:
+            return dict(self._tenant_queued)
+
+    def tenant_admitted(self) -> Dict[str, int]:
+        """Lifetime admitted request count per tenant."""
+        with self._lock:
+            return dict(self._tenant_admitted)
+
+    def _tenant_remove(self, request: Request) -> None:
+        """Drop a departing request from the queued-depth map (lock held)."""
+        left = self._tenant_queued.get(request.tenant, 0) - 1
+        if left > 0:
+            self._tenant_queued[request.tenant] = left
+        else:
+            self._tenant_queued.pop(request.tenant, None)
 
     # -- admission ---------------------------------------------------------
     def offer(self, request: Request) -> Admission:
@@ -234,6 +261,7 @@ class Scheduler:
                 self._nodes -= victim.num_nodes
                 if victim.deadline_t is not None:
                     self._deadlines -= 1
+                self._tenant_remove(victim)
                 self._append(request)
                 return Admission(True, victim=victim)
             self._append(request)
@@ -244,6 +272,10 @@ class Scheduler:
         self._nodes += request.num_nodes
         if request.deadline_t is not None:
             self._deadlines += 1
+        self._tenant_queued[request.tenant] = (
+            self._tenant_queued.get(request.tenant, 0) + 1)
+        self._tenant_admitted[request.tenant] = (
+            self._tenant_admitted.get(request.tenant, 0) + 1)
 
     # -- deadline expiry ---------------------------------------------------
     def expire(self, now: Optional[float] = None) -> List[Request]:
@@ -267,6 +299,8 @@ class Scheduler:
                 self._nodes -= sum(r.num_nodes for r in dead)
                 self._deadlines -= sum(
                     1 for r in dead if r.deadline_t is not None)
+                for req in dead:
+                    self._tenant_remove(req)
             return dead
 
     # -- flush decisions ---------------------------------------------------
@@ -290,13 +324,48 @@ class Scheduler:
 
         ``take`` does not re-check :meth:`should_flush` — a forced
         ``server.flush()`` / ``drain()`` serves whatever is queued.
+
+        With ``fair_share`` the flush is filled by interleaving tenants
+        round-robin (tenants ordered by their oldest queued request,
+        per-tenant FIFO preserved) instead of taking the global FIFO
+        prefix, so a capped flush serves every waiting tenant instead of
+        whoever flooded the queue first.  Batch composition never affects
+        results — coalesced execution is bitwise identical to per-request
+        execution regardless of which requests share a flush.
         """
         with self._lock:
             if not self._q:
                 return []
-            n = max(1, min(self.policy.take(tuple(self._q)), len(self._q)))
-            out = [self._q.popleft() for _ in range(n)]
+            order = (self._fair_order() if self.fair_share
+                     else tuple(self._q))
+            n = max(1, min(self.policy.take(order), len(order)))
+            out = list(order[:n])
+            if n == len(self._q):
+                self._q.clear()
+            else:
+                taken = {id(r) for r in out}
+                self._q = deque(r for r in self._q if id(r) not in taken)
             self._nodes -= sum(r.num_nodes for r in out)
             self._deadlines -= sum(
                 1 for r in out if r.deadline_t is not None)
+            for req in out:
+                self._tenant_remove(req)
             return out
+
+    def _fair_order(self) -> Sequence[Request]:
+        """Round-robin interleave of per-tenant FIFO queues (lock held)."""
+        lanes: Dict[str, List[Request]] = {}
+        for req in self._q:  # insertion order = arrival order per tenant
+            lanes.setdefault(req.tenant, []).append(req)
+        if len(lanes) <= 1:
+            return tuple(self._q)
+        order: List[Request] = []
+        cursors = [(lane, 0) for lane in lanes.values()]
+        while cursors:
+            next_round = []
+            for lane, i in cursors:
+                order.append(lane[i])
+                if i + 1 < len(lane):
+                    next_round.append((lane, i + 1))
+            cursors = next_round
+        return order

@@ -8,13 +8,24 @@ the model's precompiled :class:`~repro.runtime.plan.HostPlan` and workspace
 arena — so the per-call host work PR 1 hoisted to compile time is now also
 amortized *across callers*, not just across a single caller's stream.
 
-Two driving modes:
+Three driving modes:
 
 * **synchronous** — ``submit()`` auto-flushes whenever the policy fires
   (and ``flush()`` / ``drain()`` force it), all on the caller's thread;
 * **threaded** — ``start()`` (or ``with server:``) runs a worker thread
   that owns every flush, so many producer threads can submit concurrently
-  while execution stays single-threaded (the arena is not thread-safe).
+  while execution stays single-threaded (the arena is not thread-safe);
+  ``pipeline="double"`` upgrades the worker to *continuous batching*: a
+  batch-former thread coalesces flush *k+1* while an executor thread runs
+  flush *k* through double-buffered arenas;
+* **pooled / async** — :class:`~repro.serve.pool.WorkerPool` replicates
+  the server N times behind a load balancer, and ``await
+  server.asubmit(...)`` (on a server or a pool) gives asyncio callers
+  awaitable handles with the exact lifecycle of the thread API.
+
+Batch composition never changes results: every flush is bit-identical to
+running each of its requests alone, whichever thread formed the batch and
+whichever arena executed it.
 
 Every flush is bit-identical to running each of its requests alone — the
 equivalence tests assert this across the model zoo and all flush policies.
@@ -46,10 +57,11 @@ handle is ever left unresolved.
 
 from __future__ import annotations
 
+import queue as queue_mod
 import threading
 import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Callable, Iterable, List, Optional,
                     Sequence, Union)
 
@@ -65,7 +77,7 @@ from ..obs import (STATUS_CANCELLED, STATUS_DEADLINE, STATUS_ERROR,
 from ..options import Validate
 from ..runtime.plan import execute_plan
 from ..runtime.profiler import KernelProfiler
-from .coalescer import coalesce, scatter
+from .coalescer import CoalescedBatch, coalesce, scatter
 from .faults import FaultInjector
 from .metrics import ServerMetrics
 from .request import Request, RequestHandle, RequestResult
@@ -123,6 +135,30 @@ class RetryPolicy:
 
 #: no-retry policy for callers that want failures surfaced immediately
 NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass
+class PreparedFlush:
+    """One flush formed ahead of execution (continuous batching).
+
+    The batch former takes requests off the scheduler and *optimistically*
+    coalesces them — without claiming their handles, so cancellation and
+    deadline expiry keep their exact thread-mode semantics.  The executor
+    claims at execution time and uses ``batch`` only when the claimed
+    live set is exactly the set the former prepared; any divergence (a
+    cancel or expiry won the race in between) discards the prepared
+    linearization and re-coalesces, counted as a pipeline fallback.
+    """
+
+    #: everything taken off the queue (the executor owes each of these a
+    #: resolution, prepared or not)
+    taken: List[Request]
+    #: the optimistic coalesce over the then-live subset; ``None`` when
+    #: the former could not prepare (all dead, or validation still owns
+    #: the first flush)
+    batch: Optional[CoalescedBatch] = field(repr=False, default=None)
+    #: was the validating linearizer used to build ``batch``?
+    check: bool = False
 
 
 class ModelServer:
@@ -187,6 +223,26 @@ class ModelServer:
             private cache sized by the policy.
         memo_policy: optional :class:`~repro.memo.MemoPolicy` (entry
             bounds, minimum subtree size, verify mode).
+        name: optional replica/server name; rides every request's root
+            span (``replica`` attribute) and the pool's labeled metrics,
+            so multi-replica traces and scrapes stay attributable.
+        pipeline: ``"double"`` turns threaded mode into *continuous
+            batching*: ``start()`` spawns a batch-former thread (take +
+            coalesce for flush k+1) and an executor thread (execute +
+            scatter + resolve for flush k) connected by a depth-1
+            handoff, with the two flushes running on different arenas
+            from a two-arena rotation.  Outputs stay bitwise identical
+            to single-buffer execution; lifecycle arbitration (cancel /
+            deadline / retry) still happens at claim time on the
+            executor.  ``"off"`` (default) keeps the single worker.
+            Incompatible with ``memo="on"`` (the splicer's commit
+            protocol assumes one arena).
+        fair_share: interleave flush batches round-robin across tenants
+            (see :meth:`submit`'s ``tenant``) instead of global FIFO, so
+            a capped flush serves every waiting tenant.
+        request_id_base: first request id minus one; a
+            :class:`~repro.serve.WorkerPool` hands each replica a
+            disjoint block so ids stay unique pool-wide.
     """
 
     def __init__(self, model: "ModelHandle", *,
@@ -206,7 +262,11 @@ class ModelServer:
                  wake_interval_s: float = 0.001,
                  memo: Union[str, bool] = "off",
                  memo_cache=None,
-                 memo_policy=None):
+                 memo_policy=None,
+                 name: Optional[str] = None,
+                 pipeline: Union[str, bool] = "off",
+                 fair_share: bool = False,
+                 request_id_base: int = 0):
         try:
             self._validate = Validate.coerce(validate)
         except ValueError as exc:
@@ -229,9 +289,23 @@ class ModelServer:
         if check_device is not None:
             check_device(device)
         self.model = model
+        self.name = name
+        if pipeline in ("double", True):
+            self._pipeline = "double"
+        elif pipeline in ("off", False, None):
+            self._pipeline = "off"
+        else:
+            raise ServingError(
+                f"pipeline must be 'off' or 'double', got {pipeline!r}")
+        if self._pipeline == "double" and memo in ("on", True):
+            raise ServingError(
+                "pipeline='double' is incompatible with memo='on': the "
+                "splicer's verify/commit protocol assumes one arena per "
+                "server; run memoized servers single-buffered")
         self._clock: Clock = clock if clock is not None else time.perf_counter
         self.scheduler = Scheduler(policy, max_queue=max_queue,
-                                   clock=self._clock)
+                                   clock=self._clock,
+                                   fair_share=fair_share)
         self.metrics = ServerMetrics(window=metrics_window,
                                      clock=self._clock)
         self.tracer = tracer
@@ -277,7 +351,10 @@ class ModelServer:
         self._outputs = (list(outputs) if outputs is not None
                          else model.default_outputs())
         self._wake_interval_s = wake_interval_s
-        self._req_counter = 0
+        # pools give each replica a disjoint id block so request ids —
+        # and the trace/span attributes carrying them — stay globally
+        # unique across a pool
+        self._req_counter = request_id_base
         self._counter_lock = threading.Lock()
         self._observers: List[Observer] = []
         #: serializes flush execution (arena + workspace are single-threaded)
@@ -285,6 +362,27 @@ class ModelServer:
         self._thread: Optional[threading.Thread] = None
         self._stop = False
         self._cond = threading.Condition()
+        #: serializes start/stop so concurrent stop() calls are idempotent
+        self._lifecycle_lock = threading.Lock()
+        #: set by ``close()`` (and by a pool tearing its replicas down):
+        #: submits are refused permanently, unlike a restartable stop()
+        self._closed = False
+        # continuous batching (pipeline="double"): a second arena joins
+        # the model's own in a rotation, a depth-1 handoff queue carries
+        # PreparedFlush from the former to the executor, and the three
+        # counters make the pipeline's behaviour observable in tests
+        self._exec_thread: Optional[threading.Thread] = None
+        self._handoff: Optional["queue_mod.Queue"] = None
+        self._arena_rotation: Optional["queue_mod.Queue"] = None
+        if self._pipeline == "double":
+            from ..runtime.memory import WorkspaceArena
+
+            self._spare_arena = WorkspaceArena()
+        else:
+            self._spare_arena = None
+        self._pipeline_prepared = 0      # flushes the former coalesced
+        self._pipeline_prepared_used = 0  # prepared batches executed as-is
+        self._pipeline_fallbacks = 0     # prepared batches discarded
 
     # -- health observers --------------------------------------------------
     def add_observer(self, fn: Observer) -> None:
@@ -332,7 +430,8 @@ class ModelServer:
 
     def submit(self, roots: Union[Node, Sequence[Node]], *,
                timeout_s: Optional[float] = None,
-               priority: int = 0) -> RequestHandle:
+               priority: int = 0,
+               tenant: str = "default") -> RequestHandle:
         """Queue one request; returns its handle immediately.
 
         ``timeout_s`` sets the request's deadline: if it is still queued
@@ -341,7 +440,10 @@ class ModelServer:
         executed.  ``priority`` feeds overload shedding: at a full queue
         a higher-priority arrival evicts the lowest-priority pending
         request (shed with :class:`~repro.errors.LoadShedError`) instead
-        of being rejected.
+        of being rejected.  ``tenant`` is the request's fair-share
+        accounting class: it labels the tenant metrics families and,
+        under ``fair_share=True``, determines how flush batches are
+        interleaved — never what any request's outputs are.
 
         In synchronous mode the call also flushes when the policy fires,
         so earlier callers' handles may complete during a later
@@ -349,6 +451,10 @@ class ModelServer:
         admission control refuses — callers should back off and retry
         (or drop).
         """
+        if self._closed:
+            raise ServingError(
+                "server is closed: stop() already drained it on behalf "
+                "of its pool; submit to the pool, not the replica")
         if timeout_s is not None and timeout_s < 0:
             raise ServingError("timeout_s must be >= 0")
         root_list = [roots] if isinstance(roots, Node) else list(roots)
@@ -363,17 +469,21 @@ class ModelServer:
                       submit_t=submit_t,
                       deadline_t=(submit_t + timeout_s
                                   if timeout_s is not None else None),
-                      priority=priority)
+                      priority=priority, tenant=tenant)
         tracer = self.tracer
         if tracer is not None:
             # the span opens before the queue offer: in threaded mode the
             # worker may claim (and resolve) the request the instant it
             # lands, and the root span must already be on it by then
             req.trace_id = tracer.new_trace_id()
+            attrs = {"request_id": rid, "priority": priority,
+                     "roots": len(root_list), "nodes": nodes}
+            if tenant != "default":
+                attrs["tenant"] = tenant
+            if self.name is not None:
+                attrs["replica"] = self.name
             req.span = tracer.start_span(
-                "request", trace_id=req.trace_id,
-                attributes={"request_id": rid, "priority": priority,
-                            "roots": len(root_list), "nodes": nodes})
+                "request", trace_id=req.trace_id, attributes=attrs)
             req.span.add_event("submitted")
         self._expire_queued()
         adm = self.scheduler.offer(req)
@@ -395,13 +505,47 @@ class ModelServer:
                 # cancellation won the race): close its span with the
                 # outcome the caller actually observed
                 self._close_dropped_span(adm.victim)
-        self.metrics.note_submit()
+        self.metrics.note_submit(tenant=tenant)
         if self._thread is not None:
             with self._cond:
                 self._cond.notify()
         elif self.scheduler.should_flush():
             self.flush()
         return req.handle
+
+    async def asubmit(self, roots: Union[Node, Sequence[Node]], *,
+                      timeout_s: Optional[float] = None,
+                      priority: int = 0,
+                      tenant: str = "default"):
+        """Async :meth:`submit`: returns an awaitable handle.
+
+        ``await server.asubmit(roots)`` queues exactly like the thread
+        API (same admission, deadline, priority and tenant semantics —
+        :class:`~repro.errors.QueueFullError` et al. raise out of the
+        coroutine) and returns an :class:`~repro.serve.aio
+        .AsyncRequestHandle`; ``await handle`` yields the
+        :class:`RequestResult` or raises the same typed lifecycle errors
+        the threaded handle would.  The event loop is never blocked: the
+        flush happens on the server's worker threads and completion is
+        posted back via ``call_soon_threadsafe``.
+
+        Requires a *running* server (threaded or pipelined) — in
+        synchronous mode nothing would ever flush the queue under a
+        suspended coroutine.
+        """
+        import asyncio
+
+        from .aio import AsyncRequestHandle
+
+        if not self.running:
+            raise ServingError(
+                "asubmit needs a started server (start() or 'with "
+                "server:'); in synchronous mode nothing flushes while "
+                "the coroutine awaits")
+        loop = asyncio.get_running_loop()
+        handle = self.submit(roots, timeout_s=timeout_s,
+                             priority=priority, tenant=tenant)
+        return AsyncRequestHandle(handle, loop)
 
     # -- span bookkeeping --------------------------------------------------
     def _end_request_span(self, req: Request, status: str, event: str,
@@ -496,9 +640,11 @@ class ModelServer:
             live.append(req)
         return live
 
-    def _execute_flush(self, taken: List[Request]) -> None:
+    def _execute_flush(self, taken: List[Request], *,
+                       prepared: Optional[PreparedFlush] = None,
+                       arena=None) -> None:
         try:
-            self._run_batch(taken)
+            self._run_batch(taken, prepared=prepared, arena=arena)
         except BaseException:
             # KeyboardInterrupt / SystemExit: fail the handles so no
             # caller blocks forever, but let the interrupt propagate
@@ -508,7 +654,9 @@ class ModelServer:
                     self._end_request_span(req, STATUS_ERROR, "interrupted")
             raise
 
-    def _run_batch(self, reqs: List[Request]) -> None:
+    def _run_batch(self, reqs: List[Request], *,
+                   prepared: Optional[PreparedFlush] = None,
+                   arena=None) -> None:
         """Execute one (sub-)batch to final resolution of every handle.
 
         The loop: claim live requests, attempt the coalesced execution,
@@ -516,13 +664,32 @@ class ModelServer:
         and bisect persistent multi-request failures so a single culprit
         fails alone — O(log n) re-executions instead of the seed's O(n)
         serial isolation.
+
+        ``prepared`` (continuous batching) is an optimistic coalesce the
+        batch former built ahead of time; it is honoured only when the
+        set claimed *here* is exactly the set it covers — claim time is
+        still the single arbitration point for cancel/deadline races, so
+        pipelining changes scheduling, never lifecycle semantics.
+        ``arena`` overrides the model's own workspace arena (the
+        pipeline's two-arena rotation; ``None`` = the model's).
         """
         while True:
             reqs = self._claim_live(reqs)
             if not reqs:
                 return
+            batch = None
+            if prepared is not None and prepared.batch is not None:
+                if ([r.request_id for r in reqs]
+                        == [r.request_id
+                            for r in prepared.batch.requests]):
+                    batch = prepared
+                else:
+                    # a cancel/expiry won between forming and claiming:
+                    # the prepared linearization covers the wrong forest
+                    self._pipeline_fallbacks += 1
+                    prepared = None
             try:
-                self._attempt(reqs)
+                self._attempt(reqs, prepared=batch, arena=arena)
                 return
             except Exception as exc:
                 if (is_retryable(exc)
@@ -551,13 +718,15 @@ class ModelServer:
                             if r.span is not None:
                                 r.span.add_event("isolated",
                                                  batch=len(reqs))
-                    self._run_batch(reqs[:mid])
-                    self._run_batch(reqs[mid:])
+                    self._run_batch(reqs[:mid], arena=arena)
+                    self._run_batch(reqs[mid:], arena=arena)
                     return
                 self._fail_request(reqs[0], exc)
                 return
 
-    def _attempt(self, reqs: List[Request]) -> None:
+    def _attempt(self, reqs: List[Request], *,
+                 prepared: Optional[PreparedFlush] = None,
+                 arena=None) -> None:
         """One coalesced execution attempt; resolves handles on success.
 
         With a tracer, each attempt records one ``flush`` trace —
@@ -569,6 +738,8 @@ class ModelServer:
         reads per flush, nothing per request.
         """
         model = self.model
+        if arena is None:
+            arena = model.arena
         tracer = self.tracer
         flush_t = self._clock()
         flush_span = (tracer.start_span(
@@ -581,12 +752,25 @@ class ModelServer:
             model.release()
             for req in reqs:
                 req.attempts += 1
-            check = self._validate is Validate.ALWAYS or (
-                self._validate is Validate.FIRST and not self._validated)
-            linearizer = (model.lowered.linearizer if check
-                          else model.fast_linearizer())
+            if prepared is not None:
+                # continuous batching: the former already linearized this
+                # exact live set; skip coalesce (that's the overlap)
+                self._pipeline_prepared_used += 1
+                batch = prepared.batch
+                seeds = None
+                check = prepared.check
+                if flush_span is not None:
+                    flush_span.set_attribute("prepared", True)
+            else:
+                check = self._validate is Validate.ALWAYS or (
+                    self._validate is Validate.FIRST
+                    and not self._validated)
+                linearizer = (model.lowered.linearizer if check
+                              else model.fast_linearizer())
             t_coalesce = self._clock()
-            if self.memo is not None:
+            if prepared is not None:
+                pass
+            elif self.memo is not None:
                 batch = self.memo.coalesce([r.roots for r in reqs],
                                            check=check)
                 seeds = batch.seeds
@@ -595,7 +779,7 @@ class ModelServer:
                 seeds = None
             t_exec = self._clock()
             res = execute_plan(model.plan, batch.lin, model.params,
-                               device=self.device, arena=model.arena,
+                               device=self.device, arena=arena,
                                faults=self.faults, profiler=self.profiler,
                                seeds=seeds)
             t_scatter = self._clock()
@@ -615,7 +799,7 @@ class ModelServer:
                         spliced_nodes=batch.spliced_nodes,
                         executed_nodes=batch.executed_nodes,
                         full_hit_requests=batch.full_hit_requests)
-            model.arena.release_many(res.arena_buffers)
+            arena.release_many(res.arena_buffers)
         except Exception as exc:
             if flush_span is not None:
                 flush_span.set_attribute("exception", type(exc).__name__)
@@ -676,7 +860,8 @@ class ModelServer:
                             parent=flush_span)
             flush_span.end(STATUS_OK)
         self.metrics.note_flush(batch.num_requests, batch.num_nodes,
-                                exec_s, latencies)
+                                exec_s, latencies,
+                                tenants=[r.tenant for r in reqs])
 
     def _fail_request(self, req: Request, exc: BaseException) -> None:
         """Final, typed failure of a single isolated request."""
@@ -724,51 +909,112 @@ class ModelServer:
         return self._thread is not None
 
     def start(self) -> "ModelServer":
-        """Spawn the worker thread that owns flushing (async mode)."""
-        if self._thread is not None:
-            raise ServingError("server already started")
-        key = id(self.model.arena)
-        with ModelServer._arena_owners_lock:
-            ref = ModelServer._arena_owners.get(key)
-            owner = ref() if ref is not None else None
-            # admission is keyed on registry presence, not owner.running:
-            # stop() keeps its entry until the final drain has finished
-            # flushing through the arena, so checking `running` here
-            # would re-open the drain window the registry exists to close
-            if owner is not None and owner is not self:
-                raise ServingError(
-                    "this model's workspace arena is already owned by "
-                    "another server (Session cache hits return the same "
-                    "model object); serve one model from one server, or "
-                    "register aliases through Router, which builds "
-                    "private-arena views")
-            ModelServer._arena_owners[key] = weakref.ref(self)
-        self._stop = False
-        self._thread = threading.Thread(target=self._worker,
-                                        name="cortex-serve", daemon=True)
-        self._thread.start()
-        return self
+        """Spawn the worker thread that owns flushing (async mode).
+
+        With ``pipeline="double"`` two threads start: the batch former
+        (take + coalesce) and the executor (claim + execute + scatter +
+        resolve), connected by a depth-1 handoff — flush *k+1* is being
+        formed while flush *k* executes.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServingError("server is closed; build a new one")
+            if self._thread is not None:
+                raise ServingError("server already started")
+            key = id(self.model.arena)
+            with ModelServer._arena_owners_lock:
+                ref = ModelServer._arena_owners.get(key)
+                owner = ref() if ref is not None else None
+                # admission is keyed on registry presence, not
+                # owner.running: stop() keeps its entry until the final
+                # drain has finished flushing through the arena, so
+                # checking `running` here would re-open the drain window
+                # the registry exists to close
+                if owner is not None and owner is not self:
+                    raise ServingError(
+                        "this model's workspace arena is already owned by "
+                        "another server (Session cache hits return the "
+                        "same model object); serve one model from one "
+                        "server, or register aliases through Router, "
+                        "which builds private-arena views")
+                ModelServer._arena_owners[key] = weakref.ref(self)
+            self._stop = False
+            if self._pipeline == "double":
+                self._handoff = queue_mod.Queue(maxsize=1)
+                self._arena_rotation = queue_mod.Queue()
+                self._arena_rotation.put(self.model.arena)
+                self._arena_rotation.put(self._spare_arena)
+                self._exec_thread = threading.Thread(
+                    target=self._exec_worker, name="cortex-serve-exec",
+                    daemon=True)
+                self._exec_thread.start()
+                target = self._former_worker
+            else:
+                target = self._worker
+            self._thread = threading.Thread(target=target,
+                                            name="cortex-serve",
+                                            daemon=True)
+            self._thread.start()
+            return self
 
     def stop(self) -> None:
-        """Stop the worker; pending requests are drained before it exits."""
-        thread = self._thread
-        if thread is None:
-            return
-        with self._cond:
-            self._stop = True
-            self._cond.notify_all()
-        thread.join()
-        self._thread = None
-        # a submit() racing with shutdown may have enqueued after the
-        # worker's final drain; serve those here so no handle hangs
-        self.drain()
-        # only now release arena ownership: the drain above still flushes
-        # through the arena, so a second server must not be admitted yet
-        key = id(self.model.arena)
-        with ModelServer._arena_owners_lock:
-            ref = ModelServer._arena_owners.get(key)
-            if ref is not None and ref() is self:
-                del ModelServer._arena_owners[key]
+        """Stop the worker(s); pending requests drain before they exit.
+
+        Idempotent and safe to race: concurrent and repeated ``stop()``
+        calls serialize on the lifecycle lock, and every call returns
+        only after the queue is drained.  Ordering under the pipeline:
+        the former stops taking, pushes what it already formed, the
+        executor finishes every in-flight flush, and only then does the
+        final straggler drain run — so each taken request resolves
+        exactly once and every root span closes.
+        """
+        with self._lifecycle_lock:
+            thread = self._thread
+            if thread is None:
+                # never started (or already stopped): still serve
+                # whatever is queued so no handle hangs, then return
+                if not self._closed:
+                    self.drain()
+                return
+            with self._cond:
+                self._stop = True
+                self._cond.notify_all()
+            thread.join()
+            if self._exec_thread is not None:
+                # the former's last act was the None sentinel; the
+                # executor drains every already-formed flush first
+                self._exec_thread.join()
+                self._exec_thread = None
+                self._handoff = None
+                self._arena_rotation = None
+            self._thread = None
+            # a submit() racing with shutdown may have enqueued after the
+            # worker's final drain; serve those here so no handle hangs
+            self.drain()
+            # only now release arena ownership: the drain above still
+            # flushes through the arena, so a second server must not be
+            # admitted yet
+            key = id(self.model.arena)
+            with ModelServer._arena_owners_lock:
+                ref = ModelServer._arena_owners.get(key)
+                if ref is not None and ref() is self:
+                    del ModelServer._arena_owners[key]
+
+    def close(self) -> None:
+        """Stop, drain, and permanently refuse new submits.
+
+        Unlike plain :meth:`stop` (which a later :meth:`start` can
+        undo), a closed server rejects every subsequent ``submit`` with
+        :class:`~repro.errors.ServingError` — the pool closes replicas
+        it tears down so a stale reference cannot enqueue work nothing
+        will ever flush.  Idempotent.
+        """
+        self.stop()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _worker(self) -> None:
         while not self._stop:
@@ -786,6 +1032,65 @@ class ModelServer:
                                         if len(self.scheduler) else None)
         self.drain()
 
+    # -- continuous batching (pipeline="double") ---------------------------
+    def _prepare(self, taken: List[Request]) -> PreparedFlush:
+        """Optimistically coalesce a taken batch ahead of execution.
+
+        Runs on the former thread, off the flush lock — this is the work
+        that overlaps the executor's current flush.  Handles are *not*
+        claimed: the executor re-arbitrates liveness at execution time,
+        and a prepared batch that no longer matches is simply discarded.
+        """
+        check = self._validate is Validate.ALWAYS or (
+            self._validate is Validate.FIRST and not self._validated)
+        now = self._clock()
+        live = [r for r in taken
+                if not r.handle.done() and not r.expired(now)]
+        batch = None
+        if live:
+            try:
+                linearizer = (self.model.lowered.linearizer if check
+                              else self.model.fast_linearizer())
+                batch = coalesce(live, linearizer)
+                self._pipeline_prepared += 1
+            except Exception:
+                # a handle resolved mid-coalesce (cancel racing the
+                # former); the executor falls back to a fresh coalesce
+                batch = None
+        return PreparedFlush(taken=taken, batch=batch, check=check)
+
+    def _former_worker(self) -> None:
+        """Pipeline stage 1: expire, take, coalesce, hand off."""
+        handoff = self._handoff
+        while not self._stop:
+            self._expire_queued()
+            if self.scheduler.should_flush():
+                taken = self.scheduler.take()
+                if taken:
+                    # blocks while the executor still holds flush k-1:
+                    # the depth-1 handoff is the double buffer
+                    handoff.put(self._prepare(taken))
+                    continue
+            with self._cond:
+                if not self._stop and not self.scheduler.should_flush():
+                    self._cond.wait(self._wake_interval_s
+                                    if len(self.scheduler) else None)
+        handoff.put(None)  # sentinel: executor drains, then exits
+
+    def _exec_worker(self) -> None:
+        """Pipeline stage 2: claim, execute, scatter, resolve."""
+        while True:
+            pf = self._handoff.get()
+            if pf is None:
+                return
+            arena = self._arena_rotation.get()
+            try:
+                with self._flush_lock:
+                    self._execute_flush(pf.taken, prepared=pf,
+                                        arena=arena)
+            finally:
+                self._arena_rotation.put(arena)
+
     def __enter__(self) -> "ModelServer":
         return self.start()
 
@@ -801,6 +1106,17 @@ class ModelServer:
             snap = self.metrics.snapshot(arena=self.model.arena)
         snap["queue_depth"] = len(self.scheduler)
         snap["queue_nodes"] = self.scheduler.pending_nodes
+        if self.name is not None:
+            snap["replica"] = self.name
+        tenants = self.metrics.tenants()
+        if tenants:
+            snap["tenants"] = tenants
+        if self._pipeline == "double":
+            snap["pipeline"] = {
+                "prepared": self._pipeline_prepared,
+                "prepared_used": self._pipeline_prepared_used,
+                "fallbacks": self._pipeline_fallbacks,
+            }
         if self.faults is not None:
             snap["faults"] = self.faults.snapshot()
         if self.profiler is not None:

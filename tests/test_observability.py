@@ -340,6 +340,48 @@ def test_server_metrics_snapshot_keys_pinned():
     assert "serve_request_latency_seconds_count 2" in text
 
 
+def test_server_metrics_tenant_labels_leave_pinned_keys_alone():
+    """Tenant accounting lives in labeled registry families, never in
+    the pinned snapshot: dashboards built on PR 7's keys keep working."""
+    m = ServerMetrics()
+    m.note_submit(tenant="acme")
+    m.note_submit(tenant="zephyr")
+    m.note_flush(2, 10, 0.01, [0.02, 0.03], tenants=["acme", "zephyr"])
+    assert set(m.snapshot()) == PINNED_SNAPSHOT_KEYS
+    assert m.tenants() == {
+        "acme": {"submitted": 1, "completed": 1},
+        "zephyr": {"submitted": 1, "completed": 1},
+    }
+    text = to_prometheus(m.registry)
+    assert 'serve_tenant_requests_submitted_total{tenant="acme"} 1' in text
+    assert 'serve_tenant_requests_completed_total{tenant="zephyr"} 1' in text
+
+
+def test_pool_snapshot_aggregates_preserve_pinned_keys():
+    """WorkerPool.metrics_snapshot() keeps every pinned single-server key
+    as a pool-level aggregate (sums for counters, exact pooled
+    percentiles for latencies) alongside the new nested detail."""
+    from repro import api
+    from repro.serve import MaxPendingRequests, WorkerPool
+
+    model = api.compile_model("treefc", hidden=8, vocab=50)
+    pool = WorkerPool(model, replicas=2, policy=MaxPendingRequests(2))
+    from repro.data import synthetic_treebank
+    rng = np.random.default_rng(0)
+    handles = [pool.submit(synthetic_treebank(1, vocab_size=50, rng=rng))
+               for _ in range(6)]
+    pool.drain()
+    for h in handles:
+        h.result(5)
+    snap = pool.metrics_snapshot()
+    assert PINNED_SNAPSHOT_KEYS <= set(snap)
+    assert snap["submitted"] == 6 and snap["completed"] == 6
+    # per-replica snapshots keep the pinned shape exactly
+    for rep_snap in snap["replicas"].values():
+        assert PINNED_SNAPSHOT_KEYS <= set(rep_snap)
+    pool.stop()
+
+
 def test_server_metrics_failed_flush_counts_no_completions():
     m = ServerMetrics()
     m.note_flush(3, 12, 0.01, [], failed=True)
